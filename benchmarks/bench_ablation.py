@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own evaluation:
+
+* the DSC-vs-ASC energy trade-off discussed qualitatively in Section III-A
+  (firing rate vs. MAC count at matched skip budgets), turned into numbers;
+* acquisition-function choice (UCB — the paper's pick — vs. EI vs. PI);
+* GP kernel choice (categorical Hamming vs. Matérn 5/2 vs. RBF);
+* weight sharing on/off in the Bayesian optimizer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import (
+    run_acquisition_ablation,
+    run_dsc_vs_asc_energy,
+    run_kernel_ablation,
+    run_weight_sharing_ablation,
+)
+
+
+def _print_ablation(result):
+    print()
+    print(f"ablation: {result.name} ({result.metric_name})")
+    for key, value in result.values.items():
+        print(f"  {key:>14s}: {value:.4f}")
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_dsc_vs_asc_energy(benchmark):
+    """Section III-A trade-off: ASC raises firing rate, DSC raises MACs."""
+    result = benchmark.pedantic(
+        lambda: run_dsc_vs_asc_energy(scale=bench_scale(), seed=bench_scale().seed), rounds=1, iterations=1
+    )
+    _print_ablation(result)
+    dsc = result.details["dsc"]
+    asc = result.details["asc"]
+    print(
+        f"  dsc: firing rate {100 * dsc['firing_rate']:.2f}%, MACs/step {dsc['macs_per_step']:,.0f}, "
+        f"energy {dsc['snn_energy_nj']:.2f} nJ"
+    )
+    print(
+        f"  asc: firing rate {100 * asc['firing_rate']:.2f}%, MACs/step {asc['macs_per_step']:,.0f}, "
+        f"energy {asc['snn_energy_nj']:.2f} nJ"
+    )
+    # DSC concatenation costs MACs; ASC does not
+    assert dsc["macs_per_step"] > asc["macs_per_step"]
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_acquisition_functions(benchmark):
+    """UCB (paper) vs EI vs PI on the same search problem."""
+    result = benchmark.pedantic(
+        lambda: run_acquisition_ablation(scale=bench_scale(), seed=bench_scale().seed), rounds=1, iterations=1
+    )
+    _print_ablation(result)
+    assert set(result.values) == {"ucb", "ei", "pi"}
+    assert all(0.0 <= value <= 1.0 for value in result.values.values())
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_gp_kernels(benchmark):
+    """Hamming vs Matérn 5/2 vs RBF surrogate kernels."""
+    result = benchmark.pedantic(
+        lambda: run_kernel_ablation(scale=bench_scale(), seed=bench_scale().seed), rounds=1, iterations=1
+    )
+    _print_ablation(result)
+    assert set(result.values) == {"hamming", "matern52", "rbf"}
+
+
+@pytest.mark.benchmark(group="ablation", min_rounds=1, max_time=1.0, warmup=False)
+def test_weight_sharing(benchmark):
+    """BO with the shared-weight store vs training every candidate from scratch."""
+    result = benchmark.pedantic(
+        lambda: run_weight_sharing_ablation(scale=bench_scale(), seed=bench_scale().seed), rounds=1, iterations=1
+    )
+    _print_ablation(result)
+    assert set(result.values) == {"shared", "from_scratch"}

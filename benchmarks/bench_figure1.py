@@ -1,0 +1,63 @@
+"""Benchmark regenerating Fig. 1 (c) and (d): the skip-connection analysis.
+
+Paper quantities reproduced per panel (DSC = Fig. 1c, ASC = Fig. 1d):
+
+* ANN test accuracy as a function of ``n_skip`` (0..3),
+* SNN test accuracy as a function of ``n_skip``,
+* SNN average firing rate as a function of ``n_skip``.
+
+Expected shape (Section III-A): accuracy rises with ``n_skip`` for both
+connection types and the ANN–SNN gap shrinks; the firing rate grows with
+``n_skip`` and grows faster for ASC than for DSC, while DSC instead raises the
+MAC count.
+
+Run with ``-s`` to see the regenerated table; timings come from
+pytest-benchmark (one "round" = the full sweep for one connection type).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.data import load_dataset
+from repro.experiments import format_figure1, run_figure1
+from repro.experiments.config import dataset_kwargs
+
+
+@pytest.fixture(scope="module")
+def figure1_dataset():
+    scale = bench_scale()
+    return load_dataset("cifar10-dvs", **dataset_kwargs(scale, "cifar10-dvs"))
+
+
+def _run(connection_type: str, splits):
+    scale = bench_scale()
+    result = run_figure1(connection_type, scale=scale, splits=splits, seed=scale.seed)
+    print()
+    print(format_figure1(result))
+    return result
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_figure1_dsc(benchmark, figure1_dataset):
+    """Fig. 1(c): DenseNet-like (concatenation) skip connections."""
+    result = benchmark.pedantic(_run, args=("dsc", figure1_dataset), rounds=1, iterations=1)
+    assert len(result.points) == 4
+    # DSC grows the MAC count monotonically with the number of concatenations
+    macs = result.macs()
+    assert all(macs[i + 1] >= macs[i] for i in range(len(macs) - 1))
+
+
+@pytest.mark.benchmark(group="figure1", min_rounds=1, max_time=1.0, warmup=False)
+def test_figure1_asc(benchmark, figure1_dataset):
+    """Fig. 1(d): addition-type skip connections."""
+    result = benchmark.pedantic(_run, args=("asc", figure1_dataset), rounds=1, iterations=1)
+    assert len(result.points) == 4
+    # ASC leaves the MAC count untouched
+    macs = result.macs()
+    assert max(macs) == pytest.approx(min(macs))
+    # firing rate grows (weakly) with the number of addition skips; at small
+    # training scales the trend is noisy, so allow a small absolute slack
+    rates = result.firing_rates()
+    assert rates[-1] >= rates[0] - 0.05

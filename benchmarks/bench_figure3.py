@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 3: Bayesian optimization vs. random search.
+
+Both methods search the same skip-connection space of the ResNet-18-style
+template on synthetic CIFAR-10-DVS; the incumbent test accuracy per evaluation
+is reported as mean ± standard deviation over several runs, exactly the series
+plotted in the paper's Fig. 3.
+
+Expected shape: the proposed GP+UCB search with weight sharing reaches a
+higher incumbent accuracy than random search within the same evaluation
+budget, with a smaller spread across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments import format_figure3, run_figure3
+
+
+def _run():
+    scale = bench_scale()
+    result = run_figure3(scale=scale, dataset="cifar10-dvs", model="resnet18", seed=scale.seed)
+    print()
+    print(format_figure3(result))
+    return result
+
+
+@pytest.mark.benchmark(group="figure3", min_rounds=1, max_time=1.0, warmup=False)
+def test_figure3_bo_vs_random_search(benchmark):
+    """Fig. 3: incumbent accuracy per iteration, mean ± std over repeated runs."""
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert len(result.bo_curve.runs) == len(result.rs_curve.runs) >= 1
+    # both curves are monotone non-decreasing (incumbent accuracy)
+    for run in result.bo_curve.runs + result.rs_curve.runs:
+        assert all(run[i + 1] >= run[i] - 1e-12 for i in range(len(run) - 1))
+    # the qualitative claim of Fig. 3: BO is at least as good as RS at the end
+    assert result.bo_curve.final_mean() >= result.rs_curve.final_mean() - 0.1

@@ -1,0 +1,114 @@
+"""Micro-benchmarks of the computational substrate.
+
+These are not paper figures; they track the performance of the hot paths the
+experiments sit on (im2col convolution forward/backward, one LIF simulation
+step, a full BPTT step, GP fitting, one BO proposal round) so regressions in
+the substrate are visible independently of the experiment-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayes_opt import BayesianOptimizer
+from repro.core.objectives import EvaluationResult, Objective
+from repro.core.search_space import BlockSearchInfo, SearchSpace
+from repro.gp import GaussianProcessRegressor, HammingKernel
+from repro.models import get_template
+from repro.nn import CrossEntropyLoss
+from repro.snn import LIFNeuron, TemporalRunner
+from repro.tensor import Tensor, conv2d
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_conv2d_forward(benchmark, rng=np.random.default_rng(0)):
+    """im2col convolution forward pass (the single hottest kernel)."""
+    x = Tensor(rng.normal(size=(8, 8, 16, 16)))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)))
+    benchmark(lambda: conv2d(x, w, padding=1))
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_conv2d_forward_backward(benchmark):
+    """Convolution forward + backward (dominates BPTT training time)."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(8, 8, 16, 16)), requires_grad=True)
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
+
+    def run():
+        x.zero_grad()
+        w.zero_grad()
+        out = conv2d(x, w, padding=1)
+        out.sum().backward()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_lif_step(benchmark):
+    """One LIF update over a feature-map-sized membrane."""
+    rng = np.random.default_rng(0)
+    neuron = LIFNeuron(beta=0.9)
+    current = Tensor(rng.normal(size=(16, 16, 16, 16)))
+
+    def run():
+        neuron.reset_state()
+        neuron(current)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_snn_bptt_training_step(benchmark):
+    """Full forward + BPTT backward of the ResNet-style SNN for one mini-batch."""
+    rng = np.random.default_rng(0)
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    runner = TemporalRunner(model, num_steps=5)
+    loss_fn = CrossEntropyLoss()
+    batch = rng.random((8, 2, 12, 12))
+    targets = rng.integers(0, 10, size=8)
+
+    def run():
+        model.zero_grad()
+        loss = loss_fn(runner(batch), targets)
+        loss.backward()
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_gp_fit_predict(benchmark):
+    """GP fit + posterior prediction at the sizes the BO loop uses."""
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 3, size=(60, 12)).astype(float)
+    y = rng.normal(size=60)
+    query = rng.integers(0, 3, size=(64, 12)).astype(float)
+
+    def run():
+        gp = GaussianProcessRegressor(HammingKernel(), noise=1e-3)
+        gp.fit(x, y)
+        gp.predict(query)
+
+    benchmark(run)
+
+
+class _FreeObjective(Objective):
+    """Zero-cost objective used to time the BO proposal machinery itself."""
+
+    def __call__(self, spec):
+        value = float(spec.total_skips()) / max(spec.encode().size, 1)
+        return EvaluationResult(spec=spec, objective_value=value, accuracy=1 - value)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_bo_proposal_round(benchmark):
+    """One surrogate fit + acquisition maximisation + batch proposal."""
+    space = SearchSpace([BlockSearchInfo(depth=4), BlockSearchInfo(depth=4)])
+
+    def run():
+        optimizer = BayesianOptimizer(space, _FreeObjective(), initial_points=8, candidate_pool_size=64, rng=0)
+        optimizer.optimize(3)
+
+    benchmark(run)

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark honours the ``REPRO_SCALE`` environment variable
+(``smoke`` / ``default`` / ``paper``); without it the benchmarks run at
+``smoke`` scale so that ``pytest benchmarks/ --benchmark-only`` completes in a
+few minutes on a laptop.  To regenerate the numbers recorded in
+EXPERIMENTS.md run::
+
+    REPRO_SCALE=default pytest benchmarks/ --benchmark-only -s
+
+The experiment benchmarks print the paper-style tables/series to stdout (use
+``-s`` to see them) in addition to the pytest-benchmark timing statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+def bench_scale():
+    """Scale used by the benchmark harness (defaults to smoke, not default)."""
+    return get_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Session-wide experiment scale."""
+    return bench_scale()

@@ -1,0 +1,99 @@
+"""Event-based gesture recognition with a spiking MobileNetV2.
+
+DVS128 Gesture is the paper's third benchmark: 11 hand gestures whose classes
+are defined by *motion over time*, which is exactly the regime where spiking
+networks with temporal dynamics are a natural fit.  This example
+
+1. generates the synthetic DVS128-Gesture stand-in (event frames of
+   class-defining motion trajectories),
+2. builds the MobileNetV2-style spiking network (inverted residual blocks with
+   depthwise convolutions — note that the search space automatically forbids
+   concatenation skips into depthwise layers),
+3. trains it with Adam (the optimizer the paper uses for this dataset),
+4. reports per-class accuracy and the firing-rate profile per layer,
+5. shows the effect of the skip configuration on the same task.
+
+Run:  python examples/dvs_gesture_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.data.synthetic_gesture import GESTURE_NAMES
+from repro.models import get_template
+from repro.nn.losses import confusion_matrix
+from repro.snn import FiringRateMonitor
+from repro.tensor import Tensor, no_grad
+from repro.training import SNNTrainer, SNNTrainingConfig
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # data: synthetic DVS128 Gesture (11 motion classes, ON/OFF event frames)
+    # ------------------------------------------------------------------
+    splits = load_dataset("dvs128-gesture", num_samples=330, image_size=12, num_steps=8, seed=0)
+    print(splits.summary())
+
+    # ------------------------------------------------------------------
+    # model: MobileNetV2-style SNN
+    # ------------------------------------------------------------------
+    template = get_template(
+        "mobilenetv2", input_channels=2, num_classes=splits.num_classes, stage_channels=(6, 10)
+    )
+    space = template.search_space()
+    print(f"search space: {space.size()} candidates; depthwise layers restricted to ASC-only positions")
+
+    model = template.build(spiking=True, rng=0)
+    print(f"parameters: {model.num_parameters():,}")
+
+    # ------------------------------------------------------------------
+    # training (Adam, as in the paper's DVS128 Gesture setup)
+    # ------------------------------------------------------------------
+    config = SNNTrainingConfig(
+        epochs=6, batch_size=16, learning_rate=0.01, optimizer="adam", num_steps=8, seed=0
+    )
+    trainer = SNNTrainer(config)
+    history = trainer.fit_splits(model, splits)
+    print(f"trained {history.num_epochs} epochs; best val accuracy {100 * history.best_val_accuracy:.2f}%")
+
+    # ------------------------------------------------------------------
+    # evaluation: accuracy, confusion, firing-rate profile
+    # ------------------------------------------------------------------
+    runner = trainer.make_runner(model)
+    monitor = FiringRateMonitor(model)
+    with monitor, no_grad():
+        scores = runner(splits.test.inputs).data
+    predictions = scores.argmax(axis=1)
+    labels = splits.test.labels
+    accuracy = float((predictions == labels).mean())
+    print(f"test accuracy: {100 * accuracy:.2f}%")
+
+    matrix = confusion_matrix(scores, labels, splits.num_classes)
+    per_class = matrix.diagonal() / np.maximum(matrix.sum(axis=1), 1)
+    print("per-gesture accuracy:")
+    for name, value in zip(GESTURE_NAMES, per_class):
+        print(f"  {name:>16s}: {100 * value:6.2f}%")
+
+    stats = monitor.statistics()
+    print(f"network average firing rate: {stats.average_firing_rate_percent:.2f}%")
+    print("firing rate per spiking layer:")
+    for layer_name, rate in sorted(stats.per_layer_rate.items()):
+        print(f"  {layer_name or '<stem>':>40s}: {100 * rate:6.2f}%")
+
+    # ------------------------------------------------------------------
+    # what does the default inverted-residual shortcut buy?
+    # ------------------------------------------------------------------
+    no_skip = template.build(space.default_spec(), spiking=True, rng=0)
+    no_skip_trainer = SNNTrainer(config)
+    no_skip_trainer.fit_splits(no_skip, splits)
+    no_skip_accuracy = no_skip_trainer.evaluate(no_skip, splits.test)
+    print(
+        f"without the inverted-residual shortcut: {100 * no_skip_accuracy:.2f}% "
+        f"({100 * (accuracy - no_skip_accuracy):+.2f}pp from the default ASC skip)"
+    )
+
+
+if __name__ == "__main__":
+    main()

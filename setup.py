@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in minimal offline environments where the ``wheel``
+package (needed by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — reproduction of "Skip Connections in Spiking Neural Networks" (IPPS 2023).
+
+The package is organised bottom-up:
+
+* :mod:`repro.tensor` — NumPy reverse-mode autodiff (the compute substrate);
+* :mod:`repro.nn` — ANN layers, losses, optimizers;
+* :mod:`repro.snn` — spiking neurons, surrogate gradients, temporal unrolling,
+  firing-rate and MAC/energy metrics;
+* :mod:`repro.gp` — Gaussian-process regression and acquisition functions;
+* :mod:`repro.core` — the paper's contribution: adjacency-matrix skip encoding,
+  search-space construction, Bayesian optimization, random-search baseline and
+  the end-to-end ANN→SNN adaptation pipeline;
+* :mod:`repro.models` — DAG skip-blocks and the ResNet-18 / DenseNet-121 /
+  MobileNetV2 / single-block templates;
+* :mod:`repro.data` — synthetic CIFAR-10, CIFAR-10-DVS and DVS128-Gesture
+  stand-ins;
+* :mod:`repro.training` — shared training/evaluation harness;
+* :mod:`repro.experiments` — harnesses regenerating Fig. 1, Table I, Fig. 3
+  and the ablations.
+
+Quickstart::
+
+    from repro.data import load_dataset
+    from repro.models import get_template
+    from repro.core import SNNAdapter, AdaptationConfig
+
+    splits = load_dataset("cifar10-dvs", num_samples=200, image_size=12, num_steps=6)
+    template = get_template("resnet18", input_channels=2, num_classes=10)
+    result = SNNAdapter(template, splits, AdaptationConfig()).run()
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, data, experiments, gp, models, nn, snn, tensor, training
+from repro.core import (
+    ASC,
+    DSC,
+    AdaptationConfig,
+    ArchitectureSpec,
+    BayesianOptimizer,
+    BlockAdjacency,
+    RandomSearch,
+    SearchSpace,
+    SNNAdapter,
+    WeightStore,
+)
+from repro.data import load_dataset
+from repro.models import NeuronConfig, get_template
+from repro.snn import FiringRateMonitor, LIFNeuron, TemporalRunner
+from repro.tensor import Tensor
+from repro.training import SNNTrainer, SNNTrainingConfig, Trainer, TrainingConfig
+
+__all__ = [
+    "__version__",
+    "core",
+    "data",
+    "experiments",
+    "gp",
+    "models",
+    "nn",
+    "snn",
+    "tensor",
+    "training",
+    "ASC",
+    "DSC",
+    "AdaptationConfig",
+    "ArchitectureSpec",
+    "BayesianOptimizer",
+    "BlockAdjacency",
+    "RandomSearch",
+    "SearchSpace",
+    "SNNAdapter",
+    "WeightStore",
+    "load_dataset",
+    "NeuronConfig",
+    "get_template",
+    "FiringRateMonitor",
+    "LIFNeuron",
+    "TemporalRunner",
+    "Tensor",
+    "SNNTrainer",
+    "SNNTrainingConfig",
+    "Trainer",
+    "TrainingConfig",
+]

@@ -1,0 +1,159 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (after installing the package)::
+
+    python -m repro.cli figure1 --type asc --scale smoke
+    python -m repro.cli table1  --datasets cifar10-dvs --models resnet18 --scale smoke
+    python -m repro.cli figure3 --scale default --output results/figure3.json
+    python -m repro.cli adapt   --dataset dvs128-gesture --model mobilenetv2
+    python -m repro.cli info
+
+Every sub-command prints the paper-style table/series to stdout, optionally
+renders an ASCII chart (``--plot``), and can save the raw result to JSON
+(``--output``) for later post-processing with :mod:`repro.experiments.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.data import available_datasets
+from repro.experiments import (
+    format_figure1,
+    format_figure3,
+    format_table1,
+    get_scale,
+    run_figure1,
+    run_figure3,
+    run_table1,
+)
+from repro.experiments.io import save_result
+from repro.experiments.plots import plot_figure1, plot_figure3
+from repro.experiments.table1 import DEFAULT_DATASETS, DEFAULT_MODELS, run_table1_cell, Table1Result, Table1Row
+from repro.models import available_models
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default=None, help="experiment scale: smoke, default or paper")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--output", default=None, help="optional path to save the result as JSON")
+    parser.add_argument("--plot", action="store_true", help="also render an ASCII chart")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Skip Connections in Spiking Neural Networks' (IPPS 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = subparsers.add_parser("figure1", help="run the Fig. 1 skip-connection sweep")
+    figure1.add_argument("--type", dest="connection_type", choices=["dsc", "asc"], default="asc")
+    figure1.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
+    _add_common_arguments(figure1)
+
+    table1 = subparsers.add_parser("table1", help="run the Table I adaptation grid")
+    table1.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS), choices=available_datasets())
+    table1.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS), choices=available_models())
+    _add_common_arguments(table1)
+
+    figure3 = subparsers.add_parser("figure3", help="run the Fig. 3 BO-vs-random-search comparison")
+    figure3.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
+    figure3.add_argument("--model", default="resnet18", choices=available_models())
+    figure3.add_argument("--runs", type=int, default=None, help="number of repeated runs")
+    figure3.add_argument("--iterations", type=int, default=None, help="evaluations per run")
+    _add_common_arguments(figure3)
+
+    adapt = subparsers.add_parser("adapt", help="run the adaptation pipeline for one dataset/model pair")
+    adapt.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
+    adapt.add_argument("--model", default="resnet18", choices=available_models())
+    _add_common_arguments(adapt)
+
+    subparsers.add_parser("info", help="list available datasets, models and scales")
+    return parser
+
+
+def _command_figure1(args) -> int:
+    scale = get_scale(args.scale)
+    result = run_figure1(args.connection_type, scale=scale, dataset=args.dataset, seed=args.seed)
+    print(format_figure1(result))
+    if args.plot:
+        print()
+        print(plot_figure1(result))
+    if args.output:
+        save_result(result, args.output)
+        print(f"\nsaved to {args.output}")
+    return 0
+
+
+def _command_table1(args) -> int:
+    scale = get_scale(args.scale)
+    result = run_table1(scale=scale, datasets=args.datasets, models=args.models, seed=args.seed)
+    print(format_table1(result))
+    if args.output:
+        save_result(result, args.output)
+        print(f"\nsaved to {args.output}")
+    return 0
+
+
+def _command_figure3(args) -> int:
+    scale = get_scale(args.scale)
+    result = run_figure3(
+        scale=scale,
+        dataset=args.dataset,
+        model=args.model,
+        num_runs=args.runs,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    print(format_figure3(result))
+    if args.plot:
+        print()
+        print(plot_figure3(result))
+    if args.output:
+        save_result(result, args.output)
+        print(f"\nsaved to {args.output}")
+    return 0
+
+
+def _command_adapt(args) -> int:
+    scale = get_scale(args.scale)
+    adaptation = run_table1_cell(args.dataset, args.model, scale=scale, seed=args.seed)
+    print(adaptation.summary())
+    print(f"best architecture: {adaptation.best_spec}")
+    table = Table1Result()
+    table.rows.append(Table1Row.from_result(args.dataset, args.model, adaptation))
+    if args.output:
+        save_result(table, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _command_info(_args) -> int:
+    print("datasets:", ", ".join(available_datasets()))
+    print("models:  ", ", ".join(available_models()))
+    print("scales:   smoke, default, paper (select with --scale or REPRO_SCALE)")
+    return 0
+
+
+_COMMANDS = {
+    "figure1": _command_figure1,
+    "table1": _command_table1,
+    "figure3": _command_figure3,
+    "adapt": _command_adapt,
+    "info": _command_info,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

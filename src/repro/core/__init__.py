@@ -1,0 +1,102 @@
+"""The paper's primary contribution: skip-connection analysis and optimization.
+
+This package implements Section III of the paper:
+
+* :mod:`repro.core.adjacency` — per-block adjacency matrices encoding the
+  position and type of skip connections (0 = none, 1 = DenseNet-like
+  concatenation, 2 = addition-type), exactly as in Eq. (1);
+* :mod:`repro.core.search_space` — construction of the space of all adjacency
+  matrices for a given ANN topology (step 1 of Fig. 2);
+* :mod:`repro.core.objectives` — the accuracy-drop objective ``f(A)`` with
+  weight sharing and short fine-tuning, plus energy-aware variants;
+* :mod:`repro.core.bayes_opt` — Gaussian-process Bayesian optimization with
+  UCB acquisition and parallel candidate proposal (step 2 of Fig. 2);
+* :mod:`repro.core.random_search` — the random-search baseline of Fig. 3;
+* :mod:`repro.core.weight_sharing` — the shared-weight store that lets BO
+  candidates inherit previously trained weights;
+* :mod:`repro.core.adapter` — the end-to-end ANN→SNN adaptation pipeline
+  (:class:`SNNAdapter`) producing the Table-I quantities.
+
+The optimization-pipeline classes (objectives, optimizers, adapter) are
+re-exported lazily to avoid import cycles with :mod:`repro.models`, which
+itself depends on the adjacency representation defined here.
+"""
+
+from repro.core.adjacency import (
+    ASC,
+    DSC,
+    NO_CONNECTION,
+    SKIP_TYPES,
+    BlockAdjacency,
+    connection_name,
+)
+from repro.core.search_space import ArchitectureSpec, BlockSearchInfo, SearchSpace
+from repro.core.weight_sharing import WeightStore
+
+__all__ = [
+    "ASC",
+    "DSC",
+    "NO_CONNECTION",
+    "SKIP_TYPES",
+    "BlockAdjacency",
+    "connection_name",
+    "ArchitectureSpec",
+    "BlockSearchInfo",
+    "SearchSpace",
+    "WeightStore",
+    "AccuracyDropObjective",
+    "EnergyAwareObjective",
+    "EvaluationResult",
+    "Objective",
+    "BayesianOptimizer",
+    "OptimizationHistory",
+    "OptimizationRecord",
+    "RandomSearch",
+    "AdaptationConfig",
+    "AdaptationResult",
+    "SNNAdapter",
+    "CachedObjective",
+    "FidelitySchedule",
+    "MultiFidelityObjective",
+    "SuccessiveHalvingSearch",
+    "LocalSearch",
+    "EvolutionarySearch",
+]
+
+# Lazily-resolved exports (PEP 562): these modules import repro.models /
+# repro.training, which in turn import repro.core.adjacency — resolving them
+# at attribute-access time breaks the cycle without hiding the public API.
+_LAZY_EXPORTS = {
+    "AccuracyDropObjective": "repro.core.objectives",
+    "EnergyAwareObjective": "repro.core.objectives",
+    "EvaluationResult": "repro.core.objectives",
+    "Objective": "repro.core.objectives",
+    "BayesianOptimizer": "repro.core.bayes_opt",
+    "OptimizationHistory": "repro.core.bayes_opt",
+    "OptimizationRecord": "repro.core.bayes_opt",
+    "RandomSearch": "repro.core.random_search",
+    "AdaptationConfig": "repro.core.adapter",
+    "AdaptationResult": "repro.core.adapter",
+    "SNNAdapter": "repro.core.adapter",
+    "CachedObjective": "repro.core.cache",
+    "FidelitySchedule": "repro.core.multi_fidelity",
+    "MultiFidelityObjective": "repro.core.multi_fidelity",
+    "SuccessiveHalvingSearch": "repro.core.multi_fidelity",
+    "LocalSearch": "repro.core.local_search",
+    "EvolutionarySearch": "repro.core.local_search",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,271 @@
+"""Bayesian optimization of skip-connection adjacency matrices (Fig. 2, step 2).
+
+The optimizer follows Section III-B of the paper:
+
+* the objective ``f(A)`` — the ANN→SNN accuracy drop — is modelled by a
+  Gaussian-process prior over the flat integer encoding of the adjacency
+  matrices;
+* candidates are chosen by maximising an acquisition function over a pool of
+  unevaluated architectures sampled from the search space; the paper uses the
+  Upper Confidence Bound, which trades exploration for exploitation as the
+  search progresses;
+* the search proposes ``batch_size`` (``k``) architectures per iteration so
+  that their (independent) evaluations can run in parallel; a constant-liar
+  strategy keeps the proposals diverse within one batch;
+* evaluated weights are shared across candidates through the objective's
+  :class:`~repro.core.weight_sharing.WeightStore`, so each evaluation is only
+  a short fine-tune.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.objectives import EvaluationResult, Objective
+from repro.core.search_space import ArchitectureSpec, SearchSpace
+from repro.gp.acquisition import AcquisitionFunction, get_acquisition
+from repro.gp.gp import GaussianProcessRegressor
+from repro.gp.kernels import HammingKernel, Kernel
+from repro.tensor.random import default_rng
+from repro.training.parallel import parallel_map
+
+
+@dataclass
+class OptimizationRecord:
+    """One evaluated candidate."""
+
+    iteration: int
+    spec: ArchitectureSpec
+    objective_value: float
+    accuracy: float
+    firing_rate: float = 0.0
+    source: str = "bo"
+
+    @classmethod
+    def from_result(cls, iteration: int, result: EvaluationResult, source: str = "bo") -> "OptimizationRecord":
+        """Build a record from an :class:`EvaluationResult`."""
+        return cls(
+            iteration=iteration,
+            spec=result.spec,
+            objective_value=result.objective_value,
+            accuracy=result.accuracy,
+            firing_rate=result.firing_rate,
+            source=source,
+        )
+
+
+@dataclass
+class OptimizationHistory:
+    """Full log of a search run."""
+
+    records: List[OptimizationRecord] = field(default_factory=list)
+
+    def append(self, record: OptimizationRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def num_evaluations(self) -> int:
+        """Total number of objective evaluations."""
+        return len(self.records)
+
+    def best(self) -> OptimizationRecord:
+        """Record with the smallest objective value."""
+        if not self.records:
+            raise ValueError("history is empty")
+        return min(self.records, key=lambda record: record.objective_value)
+
+    def incumbent_values(self) -> List[float]:
+        """Best-so-far objective value after each evaluation."""
+        values: List[float] = []
+        best = float("inf")
+        for record in self.records:
+            best = min(best, record.objective_value)
+            values.append(best)
+        return values
+
+    def incumbent_accuracies(self) -> List[float]:
+        """Accuracy of the best-so-far candidate after each evaluation.
+
+        This is the quantity plotted in Fig. 3 (test accuracy of the incumbent
+        as a function of search iterations).
+        """
+        accuracies: List[float] = []
+        best_value = float("inf")
+        best_accuracy = 0.0
+        for record in self.records:
+            if record.objective_value < best_value:
+                best_value = record.objective_value
+                best_accuracy = record.accuracy
+            accuracies.append(best_accuracy)
+        return accuracies
+
+    def evaluated_keys(self) -> set:
+        """Hashable encodings of every evaluated architecture."""
+        return {record.spec.encode().tobytes() for record in self.records}
+
+
+class BayesianOptimizer:
+    """GP + UCB Bayesian optimization over a :class:`SearchSpace`.
+
+    Parameters
+    ----------
+    search_space:
+        The space of adjacency assignments (Fig. 2, step 1).
+    objective:
+        Callable evaluating one architecture (smaller is better).
+    kernel:
+        GP covariance over architecture encodings; defaults to the Hamming
+        kernel, which treats the encoding as categorical.
+    acquisition:
+        Acquisition function or name (``"ucb"`` — the paper's choice — ``"ei"``
+        or ``"pi"``).
+    initial_points:
+        Number of random architectures evaluated before the GP is first fitted.
+        The default architecture (the original topology's wiring) is always
+        included as one of them, mirroring the paper's warm start.
+    batch_size:
+        Number of architectures proposed per iteration (the paper's ``k``
+        parallel candidates).
+    candidate_pool_size:
+        Number of random unevaluated candidates scored by the acquisition at
+        every iteration.
+    workers:
+        Worker processes used to evaluate a proposal batch (1 = sequential).
+    """
+
+    def __init__(
+        self,
+        search_space: SearchSpace,
+        objective: Objective | Callable[[ArchitectureSpec], EvaluationResult],
+        kernel: Optional[Kernel] = None,
+        acquisition: AcquisitionFunction | str = "ucb",
+        initial_points: int = 3,
+        batch_size: int = 1,
+        candidate_pool_size: int = 64,
+        noise: float = 1e-3,
+        include_default: bool = True,
+        workers: int = 1,
+        rng=None,
+    ) -> None:
+        if initial_points < 1:
+            raise ValueError("initial_points must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if candidate_pool_size < 1:
+            raise ValueError("candidate_pool_size must be >= 1")
+        self.search_space = search_space
+        self.objective = objective
+        self.kernel = kernel or HammingKernel()
+        self.acquisition = get_acquisition(acquisition)
+        self.initial_points = int(initial_points)
+        self.batch_size = int(batch_size)
+        self.candidate_pool_size = int(candidate_pool_size)
+        self.noise = float(noise)
+        self.include_default = bool(include_default)
+        self.workers = int(workers)
+        self._rng = default_rng(rng)
+        self.history = OptimizationHistory()
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, specs: Sequence[ArchitectureSpec], iteration: int, source: str) -> List[OptimizationRecord]:
+        results = parallel_map(self.objective, list(specs), workers=self.workers)
+        records = []
+        for result in results:
+            record = OptimizationRecord.from_result(iteration, result, source=source)
+            self.history.append(record)
+            records.append(record)
+        return records
+
+    def _initial_specs(self) -> List[ArchitectureSpec]:
+        specs: List[ArchitectureSpec] = []
+        if self.include_default:
+            specs.append(self.search_space.default_spec())
+        needed = self.initial_points - len(specs)
+        if needed > 0:
+            exclude = {spec.encode().tobytes() for spec in specs}
+            specs.extend(self.search_space.sample_batch(needed, rng=self._rng, exclude=exclude))
+        return specs[: self.initial_points]
+
+    def _fit_surrogate(self) -> GaussianProcessRegressor:
+        encodings = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
+        values = np.array([record.objective_value for record in self.history], dtype=np.float64)
+        model = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+        model.fit(encodings, values)
+        return model
+
+    def _propose_batch(self, surrogate: GaussianProcessRegressor, iteration: int) -> List[ArchitectureSpec]:
+        evaluated = self.history.evaluated_keys()
+        pool = self.search_space.sample_batch(
+            self.candidate_pool_size, rng=self._rng, exclude=evaluated
+        )
+        if not pool:
+            return []
+        best_value = self.history.best().objective_value
+        proposals: List[ArchitectureSpec] = []
+        # constant-liar batch proposal: after choosing a candidate, pretend it
+        # returned the current best value so the next pick explores elsewhere.
+        lie_x: List[np.ndarray] = []
+        lie_y: List[float] = []
+        for _ in range(self.batch_size):
+            if not pool:
+                break
+            encodings = np.array([spec.encode() for spec in pool], dtype=np.float64)
+            mean, std = surrogate.predict(encodings)
+            if lie_x:
+                # refit a temporary surrogate including the lies
+                all_x = np.concatenate(
+                    [np.array([r.spec.encode() for r in self.history], dtype=np.float64), np.array(lie_x)], axis=0
+                )
+                all_y = np.concatenate(
+                    [np.array([r.objective_value for r in self.history], dtype=np.float64), np.array(lie_y)]
+                )
+                temp = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+                temp.fit(all_x, all_y)
+                mean, std = temp.predict(encodings)
+            scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
+            chosen_index = int(np.argmax(scores))
+            chosen = pool.pop(chosen_index)
+            proposals.append(chosen)
+            lie_x.append(chosen.encode().astype(np.float64))
+            lie_y.append(best_value)
+        return proposals
+
+    # ------------------------------------------------------------------
+    def optimize(self, num_iterations: int, callback: Optional[Callable[[int, OptimizationHistory], None]] = None) -> OptimizationHistory:
+        """Run the search for ``num_iterations`` BO iterations.
+
+        The total number of objective evaluations is
+        ``initial_points + num_iterations * batch_size`` (capped by the size
+        of the search space).  ``callback`` is invoked after every iteration
+        with ``(iteration, history)`` — used by the experiment harness for
+        progress reporting.
+        """
+        if num_iterations < 0:
+            raise ValueError("num_iterations must be non-negative")
+        if not len(self.history):
+            self._evaluate(self._initial_specs(), iteration=0, source="init")
+            if callback is not None:
+                callback(0, self.history)
+        for iteration in range(1, num_iterations + 1):
+            surrogate = self._fit_surrogate()
+            proposals = self._propose_batch(surrogate, iteration)
+            if not proposals:
+                break
+            self._evaluate(proposals, iteration=iteration, source="bo")
+            if callback is not None:
+                callback(iteration, self.history)
+        return self.history
+
+    def best_spec(self) -> ArchitectureSpec:
+        """Architecture with the smallest observed objective value."""
+        return self.history.best().spec

@@ -1,0 +1,124 @@
+"""Evaluation cache: memoisation of architecture evaluations.
+
+Search methods occasionally revisit an architecture (e.g. random restarts,
+ablation sweeps that share configurations, the incumbent being re-evaluated at
+higher fidelity).  Re-training it would waste the dominant cost of the whole
+pipeline, so :class:`CachedObjective` wraps any
+:class:`~repro.core.objectives.Objective` with an exact-match cache keyed by
+the architecture encoding.  The cache also doubles as a tabular record of the
+search (a miniature NAS-bench for the explored region) that can be exported
+and re-loaded across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.objectives import EvaluationResult, Objective
+from repro.core.search_space import ArchitectureSpec, SearchSpace
+
+
+def spec_key(spec: ArchitectureSpec) -> str:
+    """Stable string key of an architecture (its flat integer encoding)."""
+    return ",".join(str(int(v)) for v in spec.encode())
+
+
+class CachedObjective(Objective):
+    """Exact-match memoisation wrapper around another objective."""
+
+    def __init__(self, objective: Objective | Callable[[ArchitectureSpec], EvaluationResult]) -> None:
+        self.objective = objective
+        self._cache: Dict[str, EvaluationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        key = spec_key(spec)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = self.objective(spec)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, spec: ArchitectureSpec) -> bool:
+        return spec_key(spec) in self._cache
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def results(self) -> List[EvaluationResult]:
+        """All cached evaluation results."""
+        return list(self._cache.values())
+
+    def best(self) -> EvaluationResult:
+        """Cached result with the smallest objective value."""
+        if not self._cache:
+            raise ValueError("cache is empty")
+        return min(self._cache.values(), key=lambda result: result.objective_value)
+
+    # ------------------------------------------------------------------
+    # persistence: a miniature tabular benchmark of the explored region
+    # ------------------------------------------------------------------
+    def to_table(self) -> List[Dict[str, object]]:
+        """Export the cache as a list of JSON-serialisable rows."""
+        rows = []
+        for key, result in self._cache.items():
+            rows.append(
+                {
+                    "encoding": [int(v) for v in key.split(",")],
+                    "objective_value": result.objective_value,
+                    "accuracy": result.accuracy,
+                    "firing_rate": result.firing_rate,
+                    "macs": result.macs,
+                    "num_skips": result.extra.get("num_skips", float(result.spec.total_skips())),
+                }
+            )
+        return rows
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the cache table to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_table(), indent=2))
+
+    @classmethod
+    def load_table(
+        cls,
+        path: Union[str, Path],
+        search_space: SearchSpace,
+        objective: Optional[Objective] = None,
+    ) -> "CachedObjective":
+        """Rebuild a cache from a saved table.
+
+        ``objective`` is used only for cache misses; pass a raising stub to get
+        a purely tabular benchmark of the previously explored architectures.
+        """
+        if objective is None:
+            def objective(_spec):  # type: ignore[misc]
+                raise KeyError("architecture not present in the loaded evaluation table")
+
+        cache = cls(objective)
+        rows = json.loads(Path(path).read_text())
+        for row in rows:
+            spec = search_space.decode(np.asarray(row["encoding"], dtype=np.int64))
+            result = EvaluationResult(
+                spec=spec,
+                objective_value=row["objective_value"],
+                accuracy=row["accuracy"],
+                firing_rate=row.get("firing_rate", 0.0),
+                macs=row.get("macs", 0.0),
+            )
+            cache._cache[spec_key(spec)] = result
+        return cache

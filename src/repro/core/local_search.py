@@ -1,0 +1,144 @@
+"""Additional search baselines: greedy local search and a simple evolutionary search.
+
+The paper compares its GP+UCB hyperparameter optimization against random
+search only; these two baselines are standard alternatives in the NAS
+literature and give the reproduction's Fig.-3-style comparison more context.
+Both operate on the same :class:`~repro.core.search_space.SearchSpace`, use
+the same objectives (so they can share weights exactly like the BO search) and
+produce the same :class:`~repro.core.bayes_opt.OptimizationHistory`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.bayes_opt import OptimizationHistory, OptimizationRecord
+from repro.core.objectives import EvaluationResult, Objective
+from repro.core.search_space import ArchitectureSpec, SearchSpace
+from repro.tensor.random import default_rng
+
+
+class LocalSearch:
+    """Greedy first-improvement hill climbing over single-entry moves.
+
+    Starting from the default (or a random) architecture, the search evaluates
+    neighbours that differ in exactly one adjacency entry and moves to the
+    first one that improves the objective; it stops when the evaluation budget
+    is exhausted or no neighbour improves (a local optimum).
+    """
+
+    def __init__(
+        self,
+        search_space: SearchSpace,
+        objective: Objective | Callable[[ArchitectureSpec], EvaluationResult],
+        start_from_default: bool = True,
+        rng=None,
+    ) -> None:
+        self.search_space = search_space
+        self.objective = objective
+        self.start_from_default = bool(start_from_default)
+        self._rng = default_rng(rng)
+        self.history = OptimizationHistory()
+
+    def optimize(self, max_evaluations: int) -> OptimizationHistory:
+        """Run hill climbing with at most ``max_evaluations`` objective calls."""
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        current = (
+            self.search_space.default_spec() if self.start_from_default else self.search_space.sample(self._rng)
+        )
+        current_result = self.objective(current)
+        self.history.append(OptimizationRecord.from_result(0, current_result, source="ls"))
+        evaluations = 1
+        iteration = 0
+        improved = True
+        while improved and evaluations < max_evaluations:
+            improved = False
+            iteration += 1
+            neighbors = list(self.search_space.neighbors(current))
+            self._rng.shuffle(neighbors)
+            for neighbor in neighbors:
+                if evaluations >= max_evaluations:
+                    break
+                result = self.objective(neighbor)
+                evaluations += 1
+                self.history.append(OptimizationRecord.from_result(iteration, result, source="ls"))
+                if result.objective_value < current_result.objective_value:
+                    current, current_result = neighbor, result
+                    improved = True
+                    break
+        return self.history
+
+    def best_spec(self) -> ArchitectureSpec:
+        """Architecture with the smallest observed objective value."""
+        return self.history.best().spec
+
+
+class EvolutionarySearch:
+    """(mu + lambda)-style regularised evolution over adjacency matrices.
+
+    A population of architectures evolves by tournament selection and
+    single-entry mutation (the same move set as :class:`LocalSearch`), with
+    the oldest member retired each generation — the "regularised evolution"
+    recipe that is a strong NAS baseline.
+    """
+
+    def __init__(
+        self,
+        search_space: SearchSpace,
+        objective: Objective | Callable[[ArchitectureSpec], EvaluationResult],
+        population_size: int = 8,
+        tournament_size: int = 3,
+        rng=None,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if tournament_size < 1:
+            raise ValueError("tournament_size must be >= 1")
+        self.search_space = search_space
+        self.objective = objective
+        self.population_size = int(population_size)
+        self.tournament_size = int(tournament_size)
+        self._rng = default_rng(rng)
+        self.history = OptimizationHistory()
+
+    def _mutate(self, spec: ArchitectureSpec) -> ArchitectureSpec:
+        neighbors = list(self.search_space.neighbors(spec))
+        index = int(self._rng.integers(0, len(neighbors)))
+        return neighbors[index]
+
+    def optimize(self, max_evaluations: int) -> OptimizationHistory:
+        """Run evolution with at most ``max_evaluations`` objective calls."""
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        population: List[tuple] = []
+        initial = min(self.population_size, max_evaluations)
+        seeds = [self.search_space.default_spec()]
+        seeds += self.search_space.sample_batch(
+            initial - 1, rng=self._rng, exclude={seeds[0].encode().tobytes()}
+        )
+        evaluations = 0
+        for spec in seeds[:initial]:
+            result = self.objective(spec)
+            evaluations += 1
+            self.history.append(OptimizationRecord.from_result(0, result, source="evo"))
+            population.append((spec, result))
+        generation = 0
+        while evaluations < max_evaluations:
+            generation += 1
+            contenders_idx = self._rng.choice(len(population), size=min(self.tournament_size, len(population)), replace=False)
+            contenders = [population[int(i)] for i in np.atleast_1d(contenders_idx)]
+            parent = min(contenders, key=lambda pair: pair[1].objective_value)[0]
+            child = self._mutate(parent)
+            result = self.objective(child)
+            evaluations += 1
+            self.history.append(OptimizationRecord.from_result(generation, result, source="evo"))
+            population.append((child, result))
+            population.pop(0)  # retire the oldest member (regularised evolution)
+        return self.history
+
+    def best_spec(self) -> ArchitectureSpec:
+        """Architecture with the smallest observed objective value."""
+        return self.history.best().spec

@@ -1,0 +1,174 @@
+"""Multi-fidelity evaluation: successive halving over fine-tuning budgets.
+
+The paper cites Song et al.'s general framework for multi-fidelity Bayesian
+optimization with Gaussian processes (reference [12]) as the basis for its GP
+prior.  This module implements the natural multi-fidelity extension of the
+skip-connection search: candidate architectures are first fine-tuned for a
+*small* number of epochs, and only the most promising fraction graduates to
+the next fidelity level (more epochs), successive-halving style.  Because the
+objective shares weights across candidates, promotions are cheap — the
+candidate resumes from the shared store rather than restarting.
+
+Two entry points are provided:
+
+* :class:`FidelitySchedule` — the ladder of (epochs, survivor-fraction) rungs;
+* :class:`SuccessiveHalvingSearch` — a complete search strategy combining
+  random sampling at the lowest rung with promotion by observed objective
+  value, producing the same :class:`~repro.core.bayes_opt.OptimizationHistory`
+  as the other optimizers so it can be compared on the Fig.-3 axes;
+* :class:`MultiFidelityObjective` — an objective wrapper that lets the plain
+  Bayesian optimizer evaluate at a chosen fidelity (used by the ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bayes_opt import OptimizationHistory, OptimizationRecord
+from repro.core.objectives import AccuracyDropObjective, EvaluationResult, Objective
+from repro.core.search_space import ArchitectureSpec, SearchSpace
+from repro.tensor.random import default_rng
+
+
+@dataclass(frozen=True)
+class FidelityRung:
+    """One rung of the successive-halving ladder."""
+
+    epochs: int
+    keep_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if not 0.0 < self.keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in (0, 1], got {self.keep_fraction}")
+
+
+@dataclass
+class FidelitySchedule:
+    """A ladder of rungs, lowest fidelity first."""
+
+    rungs: List[FidelityRung] = field(
+        default_factory=lambda: [FidelityRung(1, 0.5), FidelityRung(2, 0.5), FidelityRung(4, 1.0)]
+    )
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise ValueError("schedule needs at least one rung")
+        epochs = [rung.epochs for rung in self.rungs]
+        if any(b < a for a, b in zip(epochs, epochs[1:])):
+            raise ValueError("rung epochs must be non-decreasing")
+
+    @classmethod
+    def geometric(cls, min_epochs: int, max_epochs: int, eta: float = 2.0) -> "FidelitySchedule":
+        """Geometric ladder from ``min_epochs`` to ``max_epochs`` with ratio ``eta``."""
+        if min_epochs <= 0 or max_epochs < min_epochs:
+            raise ValueError("need 0 < min_epochs <= max_epochs")
+        rungs = []
+        epochs = min_epochs
+        while epochs < max_epochs:
+            rungs.append(FidelityRung(int(epochs), 1.0 / eta))
+            epochs = epochs * eta
+        rungs.append(FidelityRung(int(max_epochs), 1.0))
+        return cls(rungs)
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+
+class MultiFidelityObjective(Objective):
+    """Evaluate an :class:`AccuracyDropObjective` at a configurable fidelity.
+
+    The fidelity is the number of fine-tuning epochs; the wrapper swaps the
+    epoch count of the base objective's training configuration per call.
+    """
+
+    def __init__(self, base: AccuracyDropObjective) -> None:
+        self.base = base
+        self._original_epochs = base.training_config.epochs
+
+    def at_fidelity(self, epochs: int) -> Callable[[ArchitectureSpec], EvaluationResult]:
+        """Return a callable evaluating candidates with ``epochs`` fine-tune epochs."""
+
+        def evaluate(spec: ArchitectureSpec) -> EvaluationResult:
+            return self.evaluate(spec, epochs)
+
+        return evaluate
+
+    def evaluate(self, spec: ArchitectureSpec, epochs: int) -> EvaluationResult:
+        """Evaluate ``spec`` at the given fidelity (number of epochs)."""
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        original = self.base.training_config
+        self.base.training_config = replace(original, epochs=int(epochs))
+        try:
+            result = self.base(spec)
+        finally:
+            self.base.training_config = original
+        result.extra["fidelity_epochs"] = float(epochs)
+        return result
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        return self.evaluate(spec, self._original_epochs)
+
+
+class SuccessiveHalvingSearch:
+    """Successive halving over the skip-connection search space.
+
+    ``initial_candidates`` architectures are sampled uniformly and evaluated at
+    the lowest rung; after each rung only the best ``keep_fraction`` survive
+    and are re-evaluated at the next rung's budget (resuming from the shared
+    weights when the underlying objective uses a
+    :class:`~repro.core.weight_sharing.WeightStore`).
+    """
+
+    def __init__(
+        self,
+        search_space: SearchSpace,
+        objective: MultiFidelityObjective,
+        schedule: Optional[FidelitySchedule] = None,
+        initial_candidates: int = 8,
+        include_default: bool = True,
+        rng=None,
+    ) -> None:
+        if initial_candidates < 1:
+            raise ValueError("initial_candidates must be >= 1")
+        self.search_space = search_space
+        self.objective = objective
+        self.schedule = schedule or FidelitySchedule()
+        self.initial_candidates = int(initial_candidates)
+        self.include_default = bool(include_default)
+        self._rng = default_rng(rng)
+        self.history = OptimizationHistory()
+
+    def _initial_population(self) -> List[ArchitectureSpec]:
+        population: List[ArchitectureSpec] = []
+        if self.include_default:
+            population.append(self.search_space.default_spec())
+        needed = self.initial_candidates - len(population)
+        if needed > 0:
+            exclude = {spec.encode().tobytes() for spec in population}
+            population.extend(self.search_space.sample_batch(needed, rng=self._rng, exclude=exclude))
+        return population
+
+    def optimize(self) -> OptimizationHistory:
+        """Run the full ladder and return the evaluation history."""
+        population = self._initial_population()
+        for rung_index, rung in enumerate(self.schedule.rungs):
+            results: List[Tuple[ArchitectureSpec, EvaluationResult]] = []
+            for spec in population:
+                result = self.objective.evaluate(spec, rung.epochs)
+                record = OptimizationRecord.from_result(rung_index, result, source=f"sh-rung{rung_index}")
+                self.history.append(record)
+                results.append((spec, result))
+            results.sort(key=lambda pair: pair[1].objective_value)
+            survivors = max(1, int(np.ceil(len(results) * rung.keep_fraction)))
+            population = [spec for spec, _ in results[:survivors]]
+        return self.history
+
+    def best_spec(self) -> ArchitectureSpec:
+        """Architecture with the smallest observed objective value."""
+        return self.history.best().spec

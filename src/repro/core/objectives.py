@@ -1,0 +1,209 @@
+"""Search objectives: the accuracy-drop function ``f(A)`` and energy-aware variants.
+
+The Bayesian optimizer minimises ``f(A)`` — the accuracy drop between the
+reference ANN and the SNN built with adjacency assignment ``A`` (Section
+III-B).  Evaluating ``f`` means building the candidate SNN, loading the shared
+weights, fine-tuning for a small number of epochs and measuring validation
+accuracy; this module packages that procedure as a callable object so the
+optimizers (BO, random search) stay agnostic of models and data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.search_space import ArchitectureSpec
+from repro.core.weight_sharing import WeightStore
+from repro.data.loaders import DatasetSplits
+from repro.models.blocks import NeuronConfig
+from repro.models.template import NetworkTemplate
+from repro.snn.mac import MACCounter
+from repro.training.callbacks import TrainingHistory
+from repro.training.snn_trainer import SNNTrainer, SNNTrainingConfig
+from repro.tensor.random import default_rng
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one candidate architecture."""
+
+    spec: ArchitectureSpec
+    objective_value: float
+    accuracy: float
+    firing_rate: float = 0.0
+    macs: float = 0.0
+    history: Optional[TrainingHistory] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.objective_value = float(self.objective_value)
+        self.accuracy = float(self.accuracy)
+        self.firing_rate = float(self.firing_rate)
+        self.macs = float(self.macs)
+
+
+class Objective:
+    """Base objective: maps an :class:`ArchitectureSpec` to an :class:`EvaluationResult`.
+
+    Smaller ``objective_value`` is better (the optimizers minimise).
+    """
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        raise NotImplementedError
+
+    def evaluate_value(self, spec: ArchitectureSpec) -> float:
+        """Convenience returning only the scalar objective value."""
+        return self(spec).objective_value
+
+
+class AccuracyDropObjective(Objective):
+    """The paper's objective: ANN→SNN accuracy drop after a short fine-tune.
+
+    Parameters
+    ----------
+    template:
+        Network template defining the topology being adapted.
+    splits:
+        Dataset splits; candidates are fine-tuned on ``train`` and scored on
+        ``val``.
+    training_config:
+        SNN fine-tuning configuration (the number of epochs here is the
+        ``n``-epoch fine-tune of Section III-B, *not* a full training run).
+    reference_accuracy:
+        The ANN accuracy.  When available the objective value is
+        ``reference_accuracy - snn_val_accuracy`` (the drop); for event-based
+        datasets without an ANN reference it is ``1 - snn_val_accuracy``,
+        which has the same minimiser.
+    weight_store:
+        Optional shared-weight store.  When provided each candidate starts
+        from the shared weights and, if ``update_store`` is enabled, the store
+        is refreshed from the best candidate so far.
+    measure_firing_rate / measure_macs:
+        Record spiking statistics / MAC counts for every candidate (needed by
+        the energy-aware objective and by the Table-I report).
+    """
+
+    def __init__(
+        self,
+        template: NetworkTemplate,
+        splits: DatasetSplits,
+        training_config: Optional[SNNTrainingConfig] = None,
+        neuron_config: Optional[NeuronConfig] = None,
+        reference_accuracy: Optional[float] = None,
+        weight_store: Optional[WeightStore] = None,
+        update_store: bool = True,
+        measure_firing_rate: bool = True,
+        measure_macs: bool = False,
+        build_seed: int = 0,
+    ) -> None:
+        self.template = template
+        self.splits = splits
+        self.training_config = training_config or SNNTrainingConfig(epochs=2, batch_size=16)
+        self.neuron_config = neuron_config or NeuronConfig()
+        self.reference_accuracy = reference_accuracy
+        self.weight_store = weight_store
+        self.update_store = bool(update_store)
+        self.measure_firing_rate = bool(measure_firing_rate)
+        self.measure_macs = bool(measure_macs)
+        self.build_seed = int(build_seed)
+        self.num_evaluations = 0
+
+    # ------------------------------------------------------------------
+    def build_model(self, spec: ArchitectureSpec):
+        """Build the candidate SNN and load shared weights when available."""
+        model = self.template.build(
+            spec,
+            spiking=True,
+            neuron_config=self.neuron_config,
+            rng=default_rng(self.build_seed),
+        )
+        if self.weight_store is not None and not self.weight_store.is_empty:
+            self.weight_store.apply_to(model)
+        return model
+
+    def _objective_from_accuracy(self, accuracy: float) -> float:
+        if self.reference_accuracy is not None:
+            return float(self.reference_accuracy - accuracy)
+        return float(1.0 - accuracy)
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        self.num_evaluations += 1
+        model = self.build_model(spec)
+        trainer = SNNTrainer(self.training_config)
+        history = trainer.fit(model, self.splits.train, self.splits.val)
+
+        firing_rate = 0.0
+        if self.measure_firing_rate:
+            accuracy, stats = trainer.evaluate_with_firing_rate(model, self.splits.val)
+            firing_rate = stats.average_firing_rate
+        else:
+            accuracy = trainer.evaluate(model, self.splits.val)
+
+        macs = 0.0
+        if self.measure_macs and len(self.splits.val):
+            sample = self.splits.val.inputs[:1]
+            if self.splits.is_temporal:
+                sample = sample[:, 0]
+            macs = MACCounter(model).count(sample).total
+
+        if self.weight_store is not None and self.update_store:
+            self.weight_store.update_from(model, score=accuracy, only_if_better=True)
+            self.weight_store.merge_from(model)
+
+        return EvaluationResult(
+            spec=spec,
+            objective_value=self._objective_from_accuracy(accuracy),
+            accuracy=accuracy,
+            firing_rate=firing_rate,
+            macs=macs,
+            history=history,
+            extra={"num_skips": float(spec.total_skips())},
+        )
+
+
+class EnergyAwareObjective(Objective):
+    """Accuracy drop regularised by spiking activity.
+
+    The paper motivates the optimization as a *trade-off* between accuracy
+    drop and energy efficiency; this wrapper adds a penalty proportional to
+    the measured firing rate (and optionally the MAC count relative to the
+    skip-free baseline), so the search prefers architectures that close the
+    accuracy gap without saturating spike traffic.
+    """
+
+    def __init__(
+        self,
+        base: AccuracyDropObjective,
+        firing_rate_weight: float = 0.1,
+        mac_weight: float = 0.0,
+        mac_reference: Optional[float] = None,
+    ) -> None:
+        if firing_rate_weight < 0 or mac_weight < 0:
+            raise ValueError("penalty weights must be non-negative")
+        self.base = base
+        self.firing_rate_weight = float(firing_rate_weight)
+        self.mac_weight = float(mac_weight)
+        self.mac_reference = mac_reference
+        if mac_weight > 0:
+            self.base.measure_macs = True
+        self.base.measure_firing_rate = True
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        result = self.base(spec)
+        penalty = self.firing_rate_weight * result.firing_rate
+        if self.mac_weight > 0 and result.macs > 0:
+            reference = self.mac_reference or result.macs
+            penalty += self.mac_weight * (result.macs / max(reference, 1.0) - 1.0)
+        value = result.objective_value + penalty
+        return EvaluationResult(
+            spec=result.spec,
+            objective_value=value,
+            accuracy=result.accuracy,
+            firing_rate=result.firing_rate,
+            macs=result.macs,
+            history=result.history,
+            extra={**result.extra, "penalty": penalty, "raw_objective": result.objective_value},
+        )

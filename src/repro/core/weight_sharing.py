@@ -1,0 +1,96 @@
+"""Shared-weight store used by the Bayesian-optimization candidates.
+
+Training every candidate from scratch would make the search as expensive as
+random search; the paper instead shares previously trained weights among all
+topologies and only fine-tunes each candidate for a few epochs ("Because we
+optimize the skip connections, we can use previously trained weights and share
+them among all possible topologies").
+
+Weight transfer works because architectures in the search space differ only in
+their skip wiring: most layers keep identical shapes across candidates and can
+inherit trained weights verbatim; layers whose input grew or shrank because of
+an added/removed concatenation are re-initialised (shape-mismatched keys are
+simply skipped).  The store can optionally be refreshed from the best
+candidate seen so far, so knowledge accumulates over the search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class WeightStore:
+    """Container of shared weights keyed by dotted parameter path."""
+
+    def __init__(self, state: Optional[Dict[str, np.ndarray]] = None) -> None:
+        self._state: Dict[str, np.ndarray] = dict(state or {})
+        self._best_score: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: Module) -> "WeightStore":
+        """Snapshot ``model``'s parameters and buffers into a new store."""
+        return cls(model.state_dict())
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the store holds any weights."""
+        return not self._state
+
+    def keys(self) -> List[str]:
+        """Stored parameter/buffer paths."""
+        return list(self._state)
+
+    # ------------------------------------------------------------------
+    def apply_to(self, model: Module) -> Dict[str, int]:
+        """Load compatible weights into ``model``.
+
+        Returns a small report: how many tensors were transferred and how many
+        were skipped because the target model has no parameter of that name or
+        the shapes differ (e.g. a convolution whose input grew through a new
+        DSC connection).
+        """
+        if self.is_empty:
+            return {"loaded": 0, "skipped": 0}
+        unapplied = model.load_state_dict(self._state, strict=False)
+        return {"loaded": len(self._state) - len(unapplied), "skipped": len(unapplied)}
+
+    def update_from(self, model: Module, score: Optional[float] = None, only_if_better: bool = False) -> bool:
+        """Refresh the store from ``model``.
+
+        With ``only_if_better=True`` the update only happens when ``score``
+        (higher is better, e.g. validation accuracy) beats the best score seen
+        so far; returns whether the store was updated.
+        """
+        if only_if_better and score is not None and self._best_score is not None and score <= self._best_score:
+            return False
+        self._state = model.state_dict()
+        if score is not None:
+            self._best_score = score if self._best_score is None else max(self._best_score, score)
+        return True
+
+    def merge_from(self, model: Module) -> int:
+        """Add any tensors from ``model`` whose path is not yet in the store.
+
+        Existing entries are kept (they may come from a better candidate);
+        returns the number of newly added tensors.  This lets the store
+        accumulate weights for layer shapes that only exist in some candidates
+        (e.g. the enlarged convolutions of heavily concatenated blocks).
+        """
+        added = 0
+        for key, value in model.state_dict().items():
+            if key not in self._state:
+                self._state[key] = value
+                added += 1
+        return added
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Return the stored tensor at ``key`` (or ``None``)."""
+        return self._state.get(key)

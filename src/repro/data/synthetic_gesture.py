@@ -1,0 +1,171 @@
+"""Synthetic DVS128 Gesture stand-in: event streams of hand-gesture motions.
+
+DVS128 Gesture (Amir et al., 2017) contains 11 hand gestures recorded by an
+event camera from 29 subjects: hand waves, arm rotations, air drums/guitar,
+etc.  What distinguishes the classes is the *motion trajectory* over time, not
+a static appearance — exactly the regime where spiking networks with temporal
+dynamics are expected to shine.
+
+The stand-in generates a small bright "hand" blob whose trajectory over the
+simulation window encodes the class (left/right swipe, up/down swipe,
+clockwise/counter-clockwise rotation, horizontal/vertical wave, push (zoom
+in), pull (zoom out), and a rest/jitter class).  Events are emitted where the
+frame-to-frame luminance changes, then binned to ON/OFF frames, mirroring the
+CIFAR-10-DVS pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.loaders import ArrayDataset, DatasetSplits, train_val_test_split
+from repro.tensor.random import default_rng
+
+#: the 11 gesture classes of the stand-in (names chosen to echo the original dataset)
+GESTURE_NAMES: Tuple[str, ...] = (
+    "hand_clap",        # 0: blob oscillating horizontally around the centre, fast
+    "right_hand_wave",  # 1: horizontal wave on the right half
+    "left_hand_wave",   # 2: horizontal wave on the left half
+    "right_arm_cw",     # 3: clockwise rotation, right of centre
+    "right_arm_ccw",    # 4: counter-clockwise rotation, right of centre
+    "left_arm_cw",      # 5: clockwise rotation, left of centre
+    "left_arm_ccw",     # 6: counter-clockwise rotation, left of centre
+    "arm_roll",         # 7: small-radius fast rotation at the centre
+    "air_drums",        # 8: vertical oscillation, two beats per window
+    "air_guitar",       # 9: diagonal oscillation
+    "other",            # 10: slow random drift
+)
+
+NUM_GESTURE_CLASSES = len(GESTURE_NAMES)
+
+
+@dataclass
+class GestureConfig:
+    """Generation parameters for the synthetic DVS128 Gesture stand-in."""
+
+    num_samples: int = 440
+    image_size: int = 16
+    num_steps: int = 12
+    blob_radius: float = 2.0
+    contrast_threshold: float = 0.05
+    noise_events_per_step: int = 3
+    speed_jitter: float = 0.15
+    val_fraction: float = 0.1
+    test_fraction: float = 0.1
+    seed: int = 0
+
+
+def _blob(size: int, cy: float, cx: float, radius: float, scale: float = 1.0) -> np.ndarray:
+    """Gaussian blob luminance image centred at (cy, cx)."""
+    yy, xx = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    d2 = (yy - cy) ** 2 + (xx - cx) ** 2
+    return scale * np.exp(-d2 / (2.0 * radius ** 2))
+
+
+def _trajectory(class_index: int, phase: float, speed: float, size: int) -> Callable[[float], Tuple[float, float, float]]:
+    """Return a function mapping normalised time u in [0,1] to (cy, cx, radius_scale)."""
+    centre = (size - 1) / 2.0
+    span = size * 0.3
+
+    def clap(u):
+        return centre, centre + span * np.sin(2 * np.pi * (2.0 * speed * u + phase)), 1.0
+
+    def right_wave(u):
+        return centre, centre + size * 0.2 + span * 0.6 * np.sin(2 * np.pi * (speed * u + phase)), 1.0
+
+    def left_wave(u):
+        return centre, centre - size * 0.2 + span * 0.6 * np.sin(2 * np.pi * (speed * u + phase)), 1.0
+
+    def rotation(u, direction, offset_x):
+        angle = 2 * np.pi * (speed * u * direction + phase)
+        return centre + span * 0.7 * np.sin(angle), centre + offset_x + span * 0.7 * np.cos(angle), 1.0
+
+    def arm_roll(u):
+        angle = 2 * np.pi * (2.5 * speed * u + phase)
+        return centre + span * 0.35 * np.sin(angle), centre + span * 0.35 * np.cos(angle), 1.0
+
+    def air_drums(u):
+        return centre + span * np.sin(2 * np.pi * (2.0 * speed * u + phase)), centre, 1.0
+
+    def air_guitar(u):
+        offset = span * 0.7 * np.sin(2 * np.pi * (1.5 * speed * u + phase))
+        return centre + offset, centre - offset, 1.0
+
+    def other(u):
+        return (
+            centre + span * 0.25 * np.sin(2 * np.pi * (0.5 * speed * u + phase)),
+            centre + span * 0.25 * np.cos(2 * np.pi * (0.35 * speed * u + 2 * phase)),
+            1.0,
+        )
+
+    table: Dict[int, Callable[[float], Tuple[float, float, float]]] = {
+        0: clap,
+        1: right_wave,
+        2: left_wave,
+        3: lambda u: rotation(u, +1.0, size * 0.15),
+        4: lambda u: rotation(u, -1.0, size * 0.15),
+        5: lambda u: rotation(u, +1.0, -size * 0.15),
+        6: lambda u: rotation(u, -1.0, -size * 0.15),
+        7: arm_roll,
+        8: air_drums,
+        9: air_guitar,
+        10: other,
+    }
+    return table[class_index]
+
+
+def generate_gesture_sample(
+    class_index: int,
+    config: GestureConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate binned ON/OFF event frames ``(T, 2, H, W)`` for one gesture."""
+    size = config.image_size
+    phase = rng.uniform(0, 1)
+    speed = 1.0 + config.speed_jitter * rng.standard_normal()
+    trajectory = _trajectory(class_index, phase, speed, size)
+
+    frames = np.zeros((config.num_steps, 2, size, size))
+    cy, cx, scale = trajectory(0.0)
+    previous = _blob(size, cy, cx, config.blob_radius * scale)
+    for t in range(config.num_steps):
+        u = (t + 1) / config.num_steps
+        cy, cx, scale = trajectory(u)
+        current = _blob(size, cy, cx, config.blob_radius * scale)
+        diff = current - previous
+        frames[t, 0][diff > config.contrast_threshold] = 1.0
+        frames[t, 1][diff < -config.contrast_threshold] = 1.0
+        for _ in range(config.noise_events_per_step):
+            y = int(rng.integers(0, size))
+            x = int(rng.integers(0, size))
+            channel = 0 if rng.random() < 0.5 else 1
+            frames[t, channel, y, x] = 1.0
+        previous = current
+    return frames
+
+
+def make_synthetic_dvs_gesture(config: GestureConfig | None = None, **overrides) -> DatasetSplits:
+    """Build the synthetic DVS128-Gesture stand-in and return train/val/test splits."""
+    if config is None:
+        config = GestureConfig()
+    if overrides:
+        config = GestureConfig(**{**config.__dict__, **overrides})
+    rng = default_rng(config.seed)
+
+    labels = np.arange(config.num_samples) % NUM_GESTURE_CLASSES
+    rng.shuffle(labels)
+    frames = np.empty((config.num_samples, config.num_steps, 2, config.image_size, config.image_size))
+    for i, cls in enumerate(labels):
+        frames[i] = generate_gesture_sample(int(cls), config, rng)
+
+    dataset = ArrayDataset(frames, labels, num_classes=NUM_GESTURE_CLASSES)
+    return train_val_test_split(
+        dataset,
+        val_fraction=config.val_fraction,
+        test_fraction=config.test_fraction,
+        rng=default_rng(config.seed + 1),
+        name="synthetic-dvs128-gesture",
+    )

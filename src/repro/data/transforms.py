@@ -1,0 +1,108 @@
+"""Input transforms: normalisation, augmentation and event-frame utilities.
+
+Transforms operate on whole batches (``(N, C, H, W)`` or ``(N, T, C, H, W)``)
+and take an explicit :class:`numpy.random.Generator` so augmentation is
+reproducible.  They are designed to be passed as the ``transform`` argument of
+:class:`repro.data.loaders.BatchLoader`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+class Transform:
+    """Base transform: callable ``(batch, rng) -> batch``."""
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply a list of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class Normalize(Transform):
+    """Shift/scale static image batches channel-wise: ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float] | float = 0.5, std: Sequence[float] | float = 0.5) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        mean = self.mean.reshape((1, -1, 1, 1)) if self.mean.ndim else self.mean
+        std = self.std.reshape((1, -1, 1, 1)) if self.std.ndim else self.std
+        return (batch - mean) / std
+
+
+class EventFrameNormalize(Transform):
+    """Clip event-count frames to [0, clip_max] and rescale to [0, 1]."""
+
+    def __init__(self, clip_max: float = 1.0) -> None:
+        if clip_max <= 0:
+            raise ValueError("clip_max must be positive")
+        self.clip_max = float(clip_max)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.clip(batch, 0.0, self.clip_max) / self.clip_max
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each sample left-right with probability ``p`` (per-sample decision)."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        batch = np.array(batch, copy=True)
+        flip = rng.random(batch.shape[0]) < self.p
+        # works for both (N, C, H, W) and (N, T, C, H, W): the width axis is last
+        batch[flip] = batch[flip][..., ::-1]
+        return batch
+
+
+class RandomTranslate(Transform):
+    """Randomly roll each sample by up to ``max_shift`` pixels in H and W."""
+
+    def __init__(self, max_shift: int = 2) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        self.max_shift = int(max_shift)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.max_shift == 0:
+            return batch
+        batch = np.array(batch, copy=True)
+        for i in range(batch.shape[0]):
+            dy = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            dx = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            batch[i] = np.roll(np.roll(batch[i], dy, axis=-2), dx, axis=-1)
+        return batch
+
+
+class TimeSubsample(Transform):
+    """Keep every ``stride``-th time step of temporal batches ``(N, T, C, H, W)``."""
+
+    def __init__(self, stride: int = 2) -> None:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.stride = int(stride)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if batch.ndim < 5:
+            return batch
+        return batch[:, :: self.stride]

@@ -1,0 +1,188 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+These go beyond the paper's own evaluation and probe the components of the
+reproduction:
+
+* **acquisition function** — UCB (the paper's choice) vs EI vs PI;
+* **GP kernel** — Hamming (categorical) vs Matérn 5/2 vs RBF over the integer
+  encoding;
+* **weight sharing** — BO with vs without the shared-weight store;
+* **DSC vs ASC energy** — firing rate and MAC count of the single-block model
+  at matched skip counts, quantifying the trade-off discussed in
+  Section III-A of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bayes_opt import BayesianOptimizer
+from repro.core.objectives import AccuracyDropObjective
+from repro.core.weight_sharing import WeightStore
+from repro.data import load_dataset
+from repro.data.loaders import DatasetSplits
+from repro.experiments.config import ExperimentScale, dataset_kwargs, get_scale, model_kwargs
+from repro.experiments.figure1 import run_figure1
+from repro.gp.kernels import HammingKernel, Matern52Kernel, RBFKernel
+from repro.models import get_template
+from repro.snn.mac import estimate_energy
+from repro.training.snn_trainer import SNNTrainingConfig
+
+
+@dataclass
+class AblationResult:
+    """Outcome of one ablation: a metric value per configuration."""
+
+    name: str
+    metric_name: str
+    values: Dict[str, float] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def best(self) -> str:
+        """Configuration with the highest metric value."""
+        if not self.values:
+            raise ValueError("no ablation values recorded")
+        return max(self.values, key=self.values.__getitem__)
+
+
+def _search_setup(scale: ExperimentScale, dataset: str, model: str, seed: int):
+    splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
+    input_channels = splits.sample_shape[1] if splits.is_temporal else splits.sample_shape[0]
+    template = get_template(
+        model, **model_kwargs(scale, model, input_channels=input_channels, num_classes=splits.num_classes)
+    )
+    return splits, template
+
+
+def _make_objective(template, splits: DatasetSplits, scale: ExperimentScale, seed: int, share: bool = True):
+    training = SNNTrainingConfig(
+        epochs=scale.candidate_finetune_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        num_steps=scale.num_steps,
+        optimizer="sgd",
+        momentum=0.9,
+        seed=seed,
+    )
+    return AccuracyDropObjective(
+        template=template,
+        splits=splits,
+        training_config=training,
+        weight_store=WeightStore() if share else None,
+        update_store=share,
+        measure_firing_rate=False,
+        build_seed=seed,
+    )
+
+
+def run_acquisition_ablation(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "cifar10-dvs",
+    model: str = "resnet18",
+    acquisitions: List[str] = None,
+    seed: int = 0,
+) -> AblationResult:
+    """Compare acquisition functions by final incumbent validation accuracy."""
+    scale = scale or get_scale()
+    acquisitions = acquisitions or ["ucb", "ei", "pi"]
+    splits, template = _search_setup(scale, dataset, model, seed)
+    result = AblationResult(name="acquisition", metric_name="incumbent_accuracy")
+    for acquisition in acquisitions:
+        objective = _make_objective(template, splits, scale, seed)
+        optimizer = BayesianOptimizer(
+            template.search_space(),
+            objective,
+            acquisition=acquisition,
+            initial_points=scale.bo_initial_points,
+            rng=seed,
+        )
+        history = optimizer.optimize(scale.bo_iterations)
+        result.values[acquisition] = history.incumbent_accuracies()[-1]
+        result.details[acquisition] = history
+    return result
+
+
+def run_kernel_ablation(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "cifar10-dvs",
+    model: str = "resnet18",
+    seed: int = 0,
+) -> AblationResult:
+    """Compare GP kernels by final incumbent validation accuracy."""
+    scale = scale or get_scale()
+    splits, template = _search_setup(scale, dataset, model, seed)
+    kernels = {
+        "hamming": HammingKernel(),
+        "matern52": Matern52Kernel(length_scale=1.5),
+        "rbf": RBFKernel(length_scale=1.5),
+    }
+    result = AblationResult(name="kernel", metric_name="incumbent_accuracy")
+    for name, kernel in kernels.items():
+        objective = _make_objective(template, splits, scale, seed)
+        optimizer = BayesianOptimizer(
+            template.search_space(),
+            objective,
+            kernel=kernel,
+            initial_points=scale.bo_initial_points,
+            rng=seed,
+        )
+        history = optimizer.optimize(scale.bo_iterations)
+        result.values[name] = history.incumbent_accuracies()[-1]
+        result.details[name] = history
+    return result
+
+
+def run_weight_sharing_ablation(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "cifar10-dvs",
+    model: str = "resnet18",
+    seed: int = 0,
+) -> AblationResult:
+    """BO with shared weights vs BO training every candidate from scratch."""
+    scale = scale or get_scale()
+    splits, template = _search_setup(scale, dataset, model, seed)
+    result = AblationResult(name="weight_sharing", metric_name="incumbent_accuracy")
+    for name, share in (("shared", True), ("from_scratch", False)):
+        objective = _make_objective(template, splits, scale, seed, share=share)
+        optimizer = BayesianOptimizer(
+            template.search_space(),
+            objective,
+            initial_points=scale.bo_initial_points,
+            rng=seed,
+        )
+        history = optimizer.optimize(scale.bo_iterations)
+        result.values[name] = history.incumbent_accuracies()[-1]
+        result.details[name] = history
+    return result
+
+
+def run_dsc_vs_asc_energy(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "cifar10-dvs",
+    seed: int = 0,
+) -> AblationResult:
+    """Quantify the DSC/ASC trade-off: firing rate, MACs and estimated energy.
+
+    Reproduces the Section III-A discussion: at matched numbers of skip
+    connections, addition-type skips raise the firing rate while DenseNet-like
+    skips raise the MAC count; energy is estimated with the standard
+    pJ-per-operation model of :mod:`repro.snn.mac`.
+    """
+    scale = scale or get_scale()
+    splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
+    result = AblationResult(name="dsc_vs_asc_energy", metric_name="snn_accuracy")
+    for kind in ("dsc", "asc"):
+        sweep = run_figure1(kind, scale=scale, splits=splits, seed=seed)
+        last = sweep.points[-1]
+        energy = estimate_energy(last.macs_per_step, last.firing_rate, scale.num_steps)
+        result.values[kind] = last.snn_accuracy
+        result.details[kind] = {
+            "firing_rate": last.firing_rate,
+            "macs_per_step": last.macs_per_step,
+            "snn_energy_nj": energy.snn_energy_nj,
+            "points": sweep.points,
+        }
+    return result

@@ -1,0 +1,117 @@
+"""Plain-text reporting: tables and series in the shape the paper prints them."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.figure1 import Figure1Result
+from repro.experiments.figure3 import Figure3Result
+from repro.experiments.table1 import Table1Result
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _pct(value: Optional[float]) -> str:
+    """Format a fraction as a percentage string (``-`` for missing values)."""
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.2f}"
+
+
+def format_figure1(result: Figure1Result) -> str:
+    """Render one panel of Fig. 1 as a table of accuracy and firing-rate rows."""
+    headers = ["n_skip", "ANN acc (%)", "SNN acc (%)", "SNN firing rate (%)", "MACs/step"]
+    rows = [
+        [
+            point.n_skip,
+            _pct(point.ann_accuracy),
+            _pct(point.snn_accuracy),
+            _pct(point.firing_rate),
+            f"{point.macs_per_step:,.0f}",
+        ]
+        for point in result.points
+    ]
+    title = (
+        f"Figure 1 ({'c' if result.connection_type == 'dsc' else 'd'}): "
+        f"{result.connection_type.upper()} skip connections on {result.dataset_name}"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table I with the paper's columns plus per-dataset averages."""
+    headers = [
+        "dataset",
+        "model",
+        "ANN acc (%)",
+        "SNN acc (%)",
+        "Optimized SNN acc (%)",
+        "SNN firing rate (%)",
+        "Optimized firing rate (%)",
+        "improvement (pp)",
+    ]
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [
+                row.dataset,
+                row.model,
+                _pct(row.ann_accuracy),
+                _pct(row.snn_accuracy),
+                _pct(row.optimized_accuracy),
+                _pct(row.snn_firing_rate),
+                _pct(row.optimized_firing_rate),
+                f"{100.0 * row.improvement:+.2f}",
+            ]
+        )
+    lines = [format_table(headers, rows, title="Table I: adaptation results")]
+    for dataset in result.datasets():
+        lines.append(
+            f"average improvement on {dataset}: {100.0 * result.average_improvement(dataset):+.2f} pp"
+        )
+    lines.append(f"overall average improvement: {100.0 * result.average_improvement():+.2f} pp")
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float], std: Optional[Sequence[float]] = None) -> str:
+    """Render one curve as ``name: v1, v2, ...`` with optional ``±std`` suffixes."""
+    if std is not None:
+        formatted = ", ".join(f"{v:.3f}±{s:.3f}" for v, s in zip(values, std))
+    else:
+        formatted = ", ".join(f"{v:.3f}" for v in values)
+    return f"{name}: {formatted}"
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render Fig. 3 as two mean±std incumbent-accuracy series."""
+    lines = [
+        f"Figure 3: search comparison on {result.dataset_name} / {result.model_name} "
+        f"({len(result.bo_curve.runs)} runs)"
+    ]
+    lines.append(format_series("Our HPO       ", result.bo_curve.mean(), result.bo_curve.std()))
+    lines.append(format_series("random search ", result.rs_curve.mean(), result.rs_curve.std()))
+    lines.append(
+        f"final incumbent accuracy: BO {100 * result.bo_curve.final_mean():.2f}% "
+        f"(±{100 * result.bo_curve.final_std():.2f}) vs RS {100 * result.rs_curve.final_mean():.2f}% "
+        f"(±{100 * result.rs_curve.final_std():.2f})"
+    )
+    return "\n".join(lines)

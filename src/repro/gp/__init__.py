@@ -1,0 +1,37 @@
+"""Gaussian-process regression and acquisition functions for Bayesian optimization.
+
+The paper's hyperparameter-optimization strategy (Section III-B) models the
+accuracy drop ``f(A)`` over adjacency matrices ``A`` with a Gaussian process
+prior and selects new candidates with the Upper Confidence Bound acquisition
+function.  This package provides the required machinery:
+
+* :mod:`repro.gp.kernels` — RBF and Matérn kernels over continuous encodings
+  plus a Hamming kernel tailored to the discrete adjacency-matrix encoding;
+* :mod:`repro.gp.gp` — exact GP regression (Cholesky-based) with observation
+  noise and standardised targets;
+* :mod:`repro.gp.acquisition` — UCB (used by the paper), Expected Improvement
+  and Probability of Improvement (mentioned as the common alternatives).
+"""
+
+from repro.gp.kernels import HammingKernel, Kernel, Matern52Kernel, RBFKernel
+from repro.gp.gp import GaussianProcessRegressor
+from repro.gp.acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    ProbabilityOfImprovement,
+    UpperConfidenceBound,
+    get_acquisition,
+)
+
+__all__ = [
+    "HammingKernel",
+    "Kernel",
+    "Matern52Kernel",
+    "RBFKernel",
+    "GaussianProcessRegressor",
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "UpperConfidenceBound",
+    "get_acquisition",
+]

@@ -1,0 +1,324 @@
+"""Backward (recurrent) skip connections — the paper's first future-work item.
+
+"In future work, we plan to further improve the performance of SNNs by
+incorporating backward connections into our hyperparameter optimization."
+(Section V.)  A backward connection routes the output of a *later* node back
+into an *earlier* layer; inside a single time step that would create a cycle,
+so — as is standard for recurrent SNNs — the connection is applied across
+time: layer ``j`` at step ``t`` receives node ``i``'s output from step
+``t - 1``.  At the first step the contribution is zero.
+
+:class:`RecurrentDAGBlock` extends :class:`~repro.models.blocks.DAGBlock` with
+a set of such connections, each typed like forward skips (ASC adds the
+delayed feature map, DSC concatenates it), and
+:func:`extend_search_space_with_backward` builds the enlarged search space so
+the existing Bayesian optimizer can search over backward connections too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adjacency import ASC, DSC, NO_CONNECTION, BlockAdjacency
+from repro.core.search_space import ArchitectureSpec, BlockSearchInfo, SearchSpace
+from repro.models.blocks import BlockSpec, DAGBlock, NeuronConfig
+from repro.nn import Conv2d
+from repro.nn.module import ModuleList
+from repro.tensor import Tensor, ops
+from repro.tensor.random import default_rng
+
+
+@dataclass(frozen=True)
+class BackwardConnection:
+    """One backward (recurrent) connection inside a block.
+
+    Attributes
+    ----------
+    source_node:
+        DAG node whose *previous-time-step* output is routed back
+        (1 = first layer's output, ..., depth = block output).
+    destination_layer:
+        0-based index of the layer receiving the delayed signal.
+    code:
+        Connection type: :data:`~repro.core.adjacency.ASC` (add) or
+        :data:`~repro.core.adjacency.DSC` (concatenate).
+    """
+
+    source_node: int
+    destination_layer: int
+    code: int
+
+    def __post_init__(self) -> None:
+        if self.code not in (DSC, ASC):
+            raise ValueError(f"backward connection code must be DSC or ASC, got {self.code}")
+        if self.source_node < 1:
+            raise ValueError("backward connections must originate from a layer output (node >= 1)")
+        if self.destination_layer < 0:
+            raise ValueError("destination_layer must be >= 0")
+        if self.source_node <= self.destination_layer:
+            raise ValueError(
+                "a connection from an earlier node to a later layer is a forward skip; "
+                "use the BlockAdjacency for it"
+            )
+
+
+class RecurrentDAGBlock(DAGBlock):
+    """A :class:`DAGBlock` extended with backward (time-delayed) connections."""
+
+    def __init__(
+        self,
+        spec: BlockSpec,
+        adjacency: Optional[BlockAdjacency] = None,
+        backward_connections: Sequence[BackwardConnection] = (),
+        spiking: bool = True,
+        neuron_config: Optional[NeuronConfig] = None,
+        rng=None,
+    ) -> None:
+        rng = default_rng(rng)
+        backward_connections = tuple(backward_connections)
+        for connection in backward_connections:
+            if connection.source_node > spec.depth:
+                raise ValueError(
+                    f"backward source node {connection.source_node} outside a depth-{spec.depth} block"
+                )
+            if connection.destination_layer >= spec.depth:
+                raise ValueError(
+                    f"backward destination layer {connection.destination_layer} outside a depth-{spec.depth} block"
+                )
+            if connection.code == DSC and not spec.layers[connection.destination_layer].allow_dsc_input:
+                raise ValueError(
+                    f"layer {connection.destination_layer} ({spec.layers[connection.destination_layer].kind}) "
+                    "cannot accept DSC input"
+                )
+
+        # Build the base block with input channels widened for DSC backward edges:
+        # we widen after calling super().__init__ by rebuilding the affected layers,
+        # so instead we pre-compute per-layer extra channels and rebuild cleanly.
+        self._backward_connections = backward_connections
+        super().__init__(spec, adjacency, spiking=spiking, neuron_config=neuron_config, rng=rng)
+
+        node_channels = spec.node_channels()
+        self.backward_projections = ModuleList()
+        self._backward_projection_index: Dict[Tuple[int, int], int] = {}
+        extra_channels = [0] * spec.depth
+        for connection in backward_connections:
+            source_channels = node_channels[connection.source_node]
+            sequential_channels = node_channels[connection.destination_layer]
+            if connection.code == DSC:
+                extra_channels[connection.destination_layer] += source_channels
+            elif source_channels != sequential_channels:
+                projection = Conv2d(source_channels, sequential_channels, 1, bias=False, rng=rng)
+                key = (connection.source_node, connection.destination_layer)
+                self._backward_projection_index[key] = len(self.backward_projections)
+                self.backward_projections.append(projection)
+
+        # rebuild the synaptic layers whose input grew because of DSC backward edges
+        from repro.models.blocks import _DAGLayer  # local import to reuse the layer builder
+
+        for layer_index, extra in enumerate(extra_channels):
+            if extra:
+                new_in = self._layer_input_channels[layer_index] + extra
+                self._layer_input_channels[layer_index] = new_in
+                replacement = _DAGLayer(
+                    spec.layers[layer_index].kind,
+                    new_in,
+                    spec.layers[layer_index].out_channels,
+                    self.spiking,
+                    self.neuron_config,
+                    rng,
+                )
+                self.layers._items[layer_index] = replacement
+                self.layers._modules[str(layer_index)] = replacement
+                object.__setattr__(self.layers, str(layer_index), replacement)
+
+        self._previous_node_outputs: Optional[List[Tensor]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def backward_connections(self) -> Tuple[BackwardConnection, ...]:
+        """The block's backward connections."""
+        return self._backward_connections
+
+    def reset_state(self) -> None:
+        """Clear the delayed node outputs (called at the start of every sequence)."""
+        self._previous_node_outputs = None
+
+    def detach_state(self) -> None:
+        """Cut the delayed outputs from the autodiff graph (truncated BPTT)."""
+        if self._previous_node_outputs is not None:
+            self._previous_node_outputs = [
+                Tensor(node.data.copy()) if node is not None else None
+                for node in self._previous_node_outputs
+            ]
+
+    # ------------------------------------------------------------------
+    def _delayed_output(self, source_node: int, like: Tensor, channels: int) -> Tensor:
+        """Previous-step output of ``source_node`` or zeros at the first step."""
+        if self._previous_node_outputs is not None:
+            stored = self._previous_node_outputs[source_node]
+            if stored is not None:
+                return stored
+        batch, _, height, width = like.shape
+        return Tensor(np.zeros((batch, channels, height, width)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        node_channels = self.spec.node_channels()
+        node_outputs: List[Tensor] = [x]
+        backward_by_layer: Dict[int, List[BackwardConnection]] = {}
+        for connection in self._backward_connections:
+            backward_by_layer.setdefault(connection.destination_layer, []).append(connection)
+
+        for layer_index, layer in enumerate(self.layers):
+            destination = layer_index + 1
+            combined = node_outputs[layer_index]
+            concat_inputs: List[Tensor] = []
+            # forward skips (same semantics as DAGBlock)
+            for source, code in self.adjacency.sources_of(layer_index):
+                source_output = node_outputs[source]
+                if code == ASC:
+                    key = (source, destination)
+                    if key in self._projection_index:
+                        source_output = self.projections[self._projection_index[key]](source_output)
+                    combined = combined + source_output
+                elif code == DSC:
+                    concat_inputs.append(source_output)
+            # backward (delayed) connections
+            for connection in backward_by_layer.get(layer_index, []):
+                delayed = self._delayed_output(
+                    connection.source_node, combined, node_channels[connection.source_node]
+                )
+                if connection.code == ASC:
+                    key = (connection.source_node, connection.destination_layer)
+                    if key in self._backward_projection_index:
+                        delayed = self.backward_projections[self._backward_projection_index[key]](delayed)
+                    combined = combined + delayed
+                else:
+                    concat_inputs.append(delayed)
+            if concat_inputs:
+                combined = ops.concat([combined] + concat_inputs, axis=1)
+            node_outputs.append(layer(combined))
+
+        self._previous_node_outputs = list(node_outputs)
+        return node_outputs[-1]
+
+    def extra_repr(self) -> str:
+        return super().extra_repr() + f", backward={len(self._backward_connections)}"
+
+
+def enumerate_backward_positions(depth: int) -> List[Tuple[int, int]]:
+    """All legal (source_node, destination_layer) backward positions of a block."""
+    positions = []
+    for destination_layer in range(depth):
+        for source_node in range(destination_layer + 1, depth + 1):
+            positions.append((source_node, destination_layer))
+    return positions
+
+
+def extend_search_space_with_backward(
+    space: SearchSpace,
+    allowed_codes: Sequence[int] = (NO_CONNECTION, ASC),
+) -> "BackwardSearchSpace":
+    """Return a search space whose blocks also expose backward positions.
+
+    The backward positions are appended as additional categorical dimensions
+    per block (encoded exactly like forward positions), so the existing
+    Bayesian optimizer searches forward and backward connections jointly —
+    the paper's stated future-work extension.  By default only addition-type
+    backward connections are allowed (the common choice for recurrent SNNs);
+    pass ``allowed_codes=(0, 1, 2)`` to include concatenation.
+    """
+    return BackwardSearchSpace(space, allowed_codes=tuple(allowed_codes))
+
+
+class BackwardSearchSpace:
+    """Joint search space over forward adjacencies and backward connections.
+
+    Points of this space are ``(ArchitectureSpec, per-block backward lists)``
+    pairs, encoded as the concatenation of the forward encoding and one code
+    per backward position per block.  The class mirrors the subset of the
+    :class:`~repro.core.search_space.SearchSpace` interface the optimizers use
+    (``encoding_length``, ``size``, ``sample_batch``, ``default_spec``,
+    ``contains``), so :class:`~repro.core.bayes_opt.BayesianOptimizer` can run
+    on it unchanged when paired with an objective that understands the joint
+    specification (see ``examples/`` and the recurrent tests).
+    """
+
+    def __init__(self, forward_space: SearchSpace, allowed_codes: Tuple[int, ...] = (NO_CONNECTION, ASC)) -> None:
+        if not allowed_codes or any(code not in (NO_CONNECTION, DSC, ASC) for code in allowed_codes):
+            raise ValueError(f"invalid allowed_codes {allowed_codes}")
+        self.forward_space = forward_space
+        self.allowed_codes = tuple(allowed_codes)
+        self._backward_positions = [
+            enumerate_backward_positions(info.depth) for info in forward_space.block_infos
+        ]
+        self.name = f"{forward_space.name}+backward"
+
+    # -- geometry ------------------------------------------------------
+    def backward_positions(self, block_index: int) -> List[Tuple[int, int]]:
+        """Backward positions of one block."""
+        return list(self._backward_positions[block_index])
+
+    def encoding_length(self) -> int:
+        """Total encoding dimensionality (forward + backward)."""
+        return self.forward_space.encoding_length() + sum(len(p) for p in self._backward_positions)
+
+    def size(self) -> int:
+        """Number of joint configurations."""
+        total = self.forward_space.size()
+        for positions in self._backward_positions:
+            total *= len(self.allowed_codes) ** len(positions)
+        return total
+
+    # -- encode / decode -----------------------------------------------
+    def encode(self, forward_spec: ArchitectureSpec, backward: Sequence[Sequence[BackwardConnection]]) -> np.ndarray:
+        """Encode a joint configuration into a flat integer vector."""
+        parts = [self.forward_space.encode(forward_spec)]
+        for block_index, positions in enumerate(self._backward_positions):
+            codes = {(c.source_node, c.destination_layer): c.code for c in backward[block_index]}
+            parts.append(np.array([codes.get(pos, NO_CONNECTION) for pos in positions], dtype=np.int64))
+        return np.concatenate(parts)
+
+    def decode(self, encoding: Sequence[int]) -> Tuple[ArchitectureSpec, List[List[BackwardConnection]]]:
+        """Inverse of :meth:`encode`."""
+        encoding = np.asarray(encoding, dtype=np.int64).reshape(-1)
+        if encoding.shape[0] != self.encoding_length():
+            raise ValueError(
+                f"encoding has length {encoding.shape[0]}, expected {self.encoding_length()}"
+            )
+        forward_length = self.forward_space.encoding_length()
+        forward_spec = self.forward_space.decode(encoding[:forward_length])
+        offset = forward_length
+        backward: List[List[BackwardConnection]] = []
+        for positions in self._backward_positions:
+            block_connections = []
+            for position, code in zip(positions, encoding[offset : offset + len(positions)]):
+                code = int(code)
+                if code not in self.allowed_codes:
+                    raise ValueError(f"backward code {code} not allowed")
+                if code != NO_CONNECTION:
+                    block_connections.append(BackwardConnection(position[0], position[1], code))
+            offset += len(positions)
+            backward.append(block_connections)
+        return forward_spec, backward
+
+    # -- sampling --------------------------------------------------------
+    def default(self) -> Tuple[ArchitectureSpec, List[List[BackwardConnection]]]:
+        """The forward-default configuration with no backward connections."""
+        return self.forward_space.default_spec(), [[] for _ in self._backward_positions]
+
+    def sample(self, rng=None) -> Tuple[ArchitectureSpec, List[List[BackwardConnection]]]:
+        """Draw one joint configuration uniformly at random."""
+        rng = default_rng(rng)
+        forward_spec = self.forward_space.sample(rng)
+        backward: List[List[BackwardConnection]] = []
+        for positions in self._backward_positions:
+            block_connections = []
+            for position in positions:
+                code = int(rng.choice(self.allowed_codes))
+                if code != NO_CONNECTION:
+                    block_connections.append(BackwardConnection(position[0], position[1], code))
+            backward.append(block_connections)
+        return forward_spec, backward

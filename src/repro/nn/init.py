@@ -1,0 +1,77 @@
+"""Parameter initialisation schemes.
+
+The reproduction defaults to Kaiming (He) initialisation for convolutional and
+linear weights — the scheme used by the reference ResNet/DenseNet/MobileNet
+implementations — with optional Xavier (Glorot) and uniform alternatives.
+All functions take an explicit :class:`numpy.random.Generator` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.random import default_rng
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for linear (2-D) and conv (4-D) weight shapes."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        return in_channels * receptive, out_channels * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He normal initialisation: ``std = gain / sqrt(fan_in)``."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / np.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He uniform initialisation with bound ``gain * sqrt(3 / fan_in)``."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialisation: ``std = gain * sqrt(2 / (fan_in + fan_out))``."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialisation."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.1, high: float = 0.1, rng=None) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    rng = default_rng(rng)
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, batch-norm shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,66 @@
+"""Learning-rate schedules driving :class:`repro.nn.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class: subclasses compute the learning rate for a given epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+    def current_lr(self) -> float:
+        """Learning rate currently installed in the optimizer."""
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the base learning rate unchanged."""
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))

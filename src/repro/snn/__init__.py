@@ -1,0 +1,96 @@
+"""Spiking neural network substrate (a from-scratch snnTorch equivalent).
+
+The paper trains SNNs with surrogate-gradient backpropagation through time
+using the snnTorch library.  This package reimplements the pieces the
+experiments rely on:
+
+* :mod:`repro.snn.surrogate` — smoothed derivatives of the Heaviside spike
+  nonlinearity (fast sigmoid, arctan, triangular, straight-through);
+* :mod:`repro.snn.neurons` — leaky integrate-and-fire neuron layers with
+  configurable decay, threshold and reset mechanism, maintaining membrane
+  state across simulation time steps;
+* :mod:`repro.snn.encoding` — input encoders turning static images into spike
+  trains (rate/Poisson, latency, direct/constant) and passing event frames
+  through unchanged;
+* :mod:`repro.snn.temporal` — the time-loop runner that unrolls a stateful
+  spiking model over ``num_steps`` and accumulates the readout (BPTT happens
+  automatically through the recorded autodiff graph);
+* :mod:`repro.snn.metrics` — firing-rate and spike-count monitors used for
+  the energy analysis in Fig. 1 and Table I;
+* :mod:`repro.snn.mac` — multiply-accumulate (MAC) and synaptic-operation
+  estimators quantifying the DSC-vs-ASC energy trade-off;
+* :mod:`repro.snn.conversion` — utilities converting an ANN module tree into
+  its spiking counterpart (ReLU -> LIF).
+"""
+
+from repro.snn.surrogate import (
+    ATanSurrogate,
+    FastSigmoidSurrogate,
+    StraightThroughSurrogate,
+    SurrogateGradient,
+    TriangularSurrogate,
+    get_surrogate,
+    spike_function,
+)
+from repro.snn.neurons import (
+    ALIFNeuron,
+    IFNeuron,
+    LeakyIntegrator,
+    LIFNeuron,
+    SpikingNeuron,
+    SynapticNeuron,
+)
+from repro.snn.encoding import (
+    ConstantCurrentEncoder,
+    LatencyEncoder,
+    RateEncoder,
+    RepeatEncoder,
+    SpikeEncoder,
+)
+from repro.snn.temporal import TemporalRunner, reset_states, run_temporal
+from repro.snn.metrics import FiringRateMonitor, SpikeStatistics, average_firing_rate
+from repro.snn.mac import MACCounter, estimate_block_macs, estimate_energy, estimate_model_macs
+from repro.snn.conversion import convert_relu_to_lif, spiking_copy
+from repro.snn.losses import (
+    FiringRateRegularizer,
+    SpikeCountCrossEntropy,
+    SpikeCountMSE,
+    SpikeRateCrossEntropy,
+)
+
+__all__ = [
+    "ATanSurrogate",
+    "FastSigmoidSurrogate",
+    "StraightThroughSurrogate",
+    "SurrogateGradient",
+    "TriangularSurrogate",
+    "get_surrogate",
+    "spike_function",
+    "ALIFNeuron",
+    "IFNeuron",
+    "LeakyIntegrator",
+    "LIFNeuron",
+    "SpikingNeuron",
+    "SynapticNeuron",
+    "ConstantCurrentEncoder",
+    "LatencyEncoder",
+    "RateEncoder",
+    "RepeatEncoder",
+    "SpikeEncoder",
+    "TemporalRunner",
+    "reset_states",
+    "run_temporal",
+    "FiringRateMonitor",
+    "SpikeStatistics",
+    "average_firing_rate",
+    "MACCounter",
+    "estimate_block_macs",
+    "estimate_energy",
+    "estimate_model_macs",
+    "convert_relu_to_lif",
+    "spiking_copy",
+    "FiringRateRegularizer",
+    "SpikeCountCrossEntropy",
+    "SpikeCountMSE",
+    "SpikeRateCrossEntropy",
+]

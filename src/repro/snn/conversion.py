@@ -1,0 +1,79 @@
+"""Generic ANN-to-SNN module-tree conversion.
+
+The paper adapts standard ANN architectures to SNNs by replacing the analog
+activation functions with spiking neurons and unrolling the network in time
+(the weights are kept; they are then fine-tuned with surrogate-gradient BPTT).
+For the DAG-block models of :mod:`repro.models` the spiking variant is built
+directly from the block specification, but this module provides the generic
+tree-rewrite used for plain :class:`~repro.nn.module.Sequential` models and by
+the quickstart example.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.nn.activations import LeakyReLU, ReLU
+from repro.nn.module import Module
+from repro.snn.neurons import LIFNeuron
+from repro.snn.surrogate import SurrogateGradient
+
+
+def convert_relu_to_lif(
+    model: Module,
+    beta: float = 0.9,
+    threshold: float = 1.0,
+    surrogate: SurrogateGradient | str = "fast_sigmoid",
+    reset_mechanism: str = "subtract",
+) -> int:
+    """Replace every ReLU/LeakyReLU in ``model`` (in place) with a LIF neuron.
+
+    Returns the number of activations replaced.  The converted model becomes
+    stateful: wrap it in :class:`repro.snn.temporal.TemporalRunner` (or call
+    :func:`repro.snn.temporal.reset_states` manually) before use.
+    """
+    replaced = 0
+    for module in model.modules():
+        for child_name, child in list(module._modules.items()):
+            if isinstance(child, (ReLU, LeakyReLU)):
+                neuron = LIFNeuron(
+                    beta=beta,
+                    threshold=threshold,
+                    surrogate=surrogate,
+                    reset_mechanism=reset_mechanism,
+                )
+                module._modules[child_name] = neuron
+                object.__setattr__(module, child_name, neuron)
+                # keep Sequential/ModuleList internal item lists consistent
+                items = getattr(module, "_items", None)
+                if items is not None:
+                    for index, item in enumerate(items):
+                        if item is child:
+                            items[index] = neuron
+                replaced += 1
+    return replaced
+
+
+def spiking_copy(
+    model: Module,
+    beta: float = 0.9,
+    threshold: float = 1.0,
+    surrogate: SurrogateGradient | str = "fast_sigmoid",
+    reset_mechanism: str = "subtract",
+) -> Module:
+    """Return a deep copy of ``model`` with activations replaced by LIF neurons.
+
+    The original model is left untouched; weights are shared by value (copied),
+    matching the paper's adaptation procedure where the converted SNN starts
+    from the trained ANN weights.
+    """
+    clone = copy.deepcopy(model)
+    convert_relu_to_lif(
+        clone,
+        beta=beta,
+        threshold=threshold,
+        surrogate=surrogate,
+        reset_mechanism=reset_mechanism,
+    )
+    return clone

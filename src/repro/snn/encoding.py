@@ -1,0 +1,133 @@
+"""Input encoders converting data into per-time-step tensors for the SNN.
+
+Static image datasets (CIFAR-10) must be turned into a temporal sequence
+before a spiking network can consume them.  The paper (via snnTorch) uses rate
+coding with ``num_steps = 25``; we additionally provide latency coding,
+constant-current (direct) coding and plain repetition, plus a pass-through
+path for data that is already temporal (the DVS event-frame datasets).
+
+All encoders map an input batch of shape ``(N, C, H, W)`` (or ``(N, F)``) to a
+sequence ``[x_1, ..., x_T]`` of tensors with the same shape, consumed one step
+at a time by :class:`repro.snn.temporal.TemporalRunner`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor.random import default_rng
+
+
+class SpikeEncoder:
+    """Base encoder interface."""
+
+    def __init__(self, num_steps: int) -> None:
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        self.num_steps = int(num_steps)
+
+    def encode(self, batch: np.ndarray) -> List[np.ndarray]:
+        """Return a list of ``num_steps`` arrays, one per simulation step."""
+        raise NotImplementedError
+
+    def __call__(self, batch: np.ndarray) -> List[Tensor]:
+        return [Tensor(step) for step in self.encode(np.asarray(batch, dtype=np.float64))]
+
+
+class RateEncoder(SpikeEncoder):
+    """Poisson/Bernoulli rate coding.
+
+    Each pixel intensity in ``[0, 1]`` is treated as a per-step firing
+    probability; the encoder draws independent Bernoulli spikes at every step.
+    This is ``snntorch.spikegen.rate``.
+    """
+
+    def __init__(self, num_steps: int, gain: float = 1.0, rng=None) -> None:
+        super().__init__(num_steps)
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        self.gain = float(gain)
+        self._rng = default_rng(rng)
+
+    def encode(self, batch: np.ndarray) -> List[np.ndarray]:
+        probabilities = np.clip(batch * self.gain, 0.0, 1.0)
+        return [
+            (self._rng.random(probabilities.shape) < probabilities).astype(np.float64)
+            for _ in range(self.num_steps)
+        ]
+
+
+class LatencyEncoder(SpikeEncoder):
+    """Latency (time-to-first-spike) coding.
+
+    Brighter pixels spike earlier; each input location emits exactly one spike
+    during the window (or none if its intensity is below ``threshold``).
+    """
+
+    def __init__(self, num_steps: int, threshold: float = 0.01) -> None:
+        super().__init__(num_steps)
+        self.threshold = float(threshold)
+
+    def encode(self, batch: np.ndarray) -> List[np.ndarray]:
+        clipped = np.clip(batch, 0.0, 1.0)
+        # Map intensity 1 -> step 0, intensity ~0 -> last step.
+        spike_times = np.round((1.0 - clipped) * (self.num_steps - 1)).astype(int)
+        silent = clipped < self.threshold
+        steps = []
+        for t in range(self.num_steps):
+            frame = ((spike_times == t) & ~silent).astype(np.float64)
+            steps.append(frame)
+        return steps
+
+
+class ConstantCurrentEncoder(SpikeEncoder):
+    """Direct (constant-current) coding: the analog input is injected at every step.
+
+    The first spiking layer then performs the actual analog-to-spike
+    conversion.  This is the highest-accuracy encoding for static data and is
+    what modern directly-trained deep SNNs typically use.
+    """
+
+    def encode(self, batch: np.ndarray) -> List[np.ndarray]:
+        return [batch for _ in range(self.num_steps)]
+
+
+class RepeatEncoder(ConstantCurrentEncoder):
+    """Alias of :class:`ConstantCurrentEncoder` kept for snnTorch naming parity."""
+
+
+class EventFrameEncoder(SpikeEncoder):
+    """Pass-through for data that is already a temporal sequence of frames.
+
+    Expects input of shape ``(N, T, C, H, W)`` and slices it along the time
+    axis.  If the provided sequence is longer than ``num_steps`` it is
+    truncated; if shorter, the last frame is repeated.
+    """
+
+    def encode(self, batch: np.ndarray) -> List[np.ndarray]:
+        if batch.ndim < 3:
+            raise ValueError(f"event-frame input must have a time axis, got shape {batch.shape}")
+        available = batch.shape[1]
+        steps = []
+        for t in range(self.num_steps):
+            index = min(t, available - 1)
+            steps.append(np.ascontiguousarray(batch[:, index]))
+        return steps
+
+
+def encode_batch(batch: np.ndarray, encoder: Optional[SpikeEncoder], num_steps: int) -> List[Tensor]:
+    """Encode ``batch`` with ``encoder``; default to constant-current coding.
+
+    Temporal batches (ndim >= 5, i.e. ``(N, T, C, H, W)``) are passed through
+    :class:`EventFrameEncoder` automatically when no encoder is given.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    if encoder is None:
+        if batch.ndim >= 5:
+            encoder = EventFrameEncoder(num_steps)
+        else:
+            encoder = ConstantCurrentEncoder(num_steps)
+    return encoder(batch)

@@ -1,0 +1,123 @@
+"""Spike-based loss functions (snnTorch ``functional``-style).
+
+The generic trainer uses plain cross-entropy on the aggregated readout, which
+is what the paper's setup amounts to.  For users who want to train on spike
+counts directly (the other common convention in the SNN literature) this
+module provides the standard alternatives:
+
+* :class:`SpikeCountCrossEntropy` — cross-entropy on the per-class spike
+  counts accumulated over the simulation window (``ce_count_loss``);
+* :class:`SpikeRateCrossEntropy` — the same on spike *rates* (counts divided
+  by the number of steps), which is scale-independent (``ce_rate_loss``);
+* :class:`SpikeCountMSE` — mean-squared error pushing the correct class
+  towards a target number of spikes and the others towards a (lower) target
+  (``mse_count_loss``);
+* :class:`FiringRateRegularizer` — an auxiliary penalty keeping the average
+  firing rate of hidden layers near a target sparsity, the standard tool for
+  controlling the energy/accuracy trade-off the paper discusses.
+
+All losses accept either the already-aggregated score tensor or the list of
+per-step output tensors produced by :func:`repro.snn.temporal.run_temporal`'s
+``step_callback``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.snn.metrics import SpikeStatistics
+from repro.tensor import Tensor, ops
+
+ScoresLike = Union[Tensor, Sequence[Tensor]]
+
+
+def _aggregate_counts(scores: ScoresLike) -> Tensor:
+    """Sum per-step outputs into counts; pass through already-aggregated tensors."""
+    if isinstance(scores, Tensor):
+        return scores
+    outputs = list(scores)
+    if not outputs:
+        raise ValueError("no outputs to aggregate")
+    stacked = ops.stack(outputs, axis=0)
+    return stacked.sum(axis=0)
+
+
+class SpikeCountCrossEntropy(Module):
+    """Cross-entropy on accumulated spike counts."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        self._ce = CrossEntropyLoss(label_smoothing=label_smoothing)
+
+    def forward(self, scores: ScoresLike, targets: np.ndarray) -> Tensor:
+        return self._ce(_aggregate_counts(scores), targets)
+
+
+class SpikeRateCrossEntropy(Module):
+    """Cross-entropy on spike rates (counts normalised by the number of steps)."""
+
+    def __init__(self, num_steps: int, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        self.num_steps = int(num_steps)
+        self._ce = CrossEntropyLoss(label_smoothing=label_smoothing)
+
+    def forward(self, scores: ScoresLike, targets: np.ndarray) -> Tensor:
+        counts = _aggregate_counts(scores)
+        return self._ce(counts / float(self.num_steps), targets)
+
+
+class SpikeCountMSE(Module):
+    """MSE between spike counts and class-dependent targets.
+
+    The correct class is pushed towards ``correct_rate * num_steps`` spikes and
+    every other class towards ``incorrect_rate * num_steps`` spikes — the
+    ``mse_count_loss`` formulation popularised by snnTorch.
+    """
+
+    def __init__(self, num_steps: int, correct_rate: float = 0.8, incorrect_rate: float = 0.1) -> None:
+        super().__init__()
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        if not 0.0 <= incorrect_rate <= correct_rate <= 1.0:
+            raise ValueError("rates must satisfy 0 <= incorrect_rate <= correct_rate <= 1")
+        self.num_steps = int(num_steps)
+        self.correct_rate = float(correct_rate)
+        self.incorrect_rate = float(incorrect_rate)
+
+    def forward(self, scores: ScoresLike, targets: np.ndarray) -> Tensor:
+        counts = _aggregate_counts(scores)
+        targets = np.asarray(targets).astype(int)
+        n, num_classes = counts.shape
+        target_counts = np.full((n, num_classes), self.incorrect_rate * self.num_steps)
+        target_counts[np.arange(n), targets] = self.correct_rate * self.num_steps
+        diff = counts - Tensor(target_counts)
+        return (diff * diff).mean()
+
+
+class FiringRateRegularizer:
+    """Quadratic penalty keeping the measured firing rate near ``target_rate``.
+
+    Applied to :class:`~repro.snn.metrics.SpikeStatistics` (or a raw float), it
+    returns a plain float penalty that can be added to a scalar objective — it
+    is *not* differentiated through (firing statistics are collected outside
+    the autodiff graph), matching how the energy-aware search objective uses
+    it.
+    """
+
+    def __init__(self, target_rate: float = 0.1, weight: float = 1.0) -> None:
+        if not 0.0 <= target_rate <= 1.0:
+            raise ValueError(f"target_rate must be in [0, 1], got {target_rate}")
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self.target_rate = float(target_rate)
+        self.weight = float(weight)
+
+    def __call__(self, firing_rate: Union[float, SpikeStatistics]) -> float:
+        rate = firing_rate.average_firing_rate if isinstance(firing_rate, SpikeStatistics) else float(firing_rate)
+        return self.weight * (rate - self.target_rate) ** 2

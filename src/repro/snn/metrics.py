@@ -1,0 +1,125 @@
+"""Spiking-activity metrics: firing rates and spike statistics.
+
+The paper reports the *average firing rate* of each SNN — "the rate at which a
+block generates output signals" — both in the skip-connection analysis
+(Fig. 1) and in the adaptation results (Table I).  The firing rate of a
+spiking layer over a simulation window is the fraction of (neuron, time-step)
+pairs that emitted a spike; the network-level number averages over all spiking
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.snn.neurons import SpikingNeuron
+
+
+@dataclass
+class SpikeStatistics:
+    """Aggregated spiking activity of one evaluation run."""
+
+    #: mean firing probability per spiking layer, keyed by dotted module path
+    per_layer_rate: Dict[str, float] = field(default_factory=dict)
+    #: total number of spikes emitted per layer over the window
+    per_layer_spikes: Dict[str, float] = field(default_factory=dict)
+    #: number of simulation steps observed
+    num_steps: int = 0
+
+    @property
+    def average_firing_rate(self) -> float:
+        """Unweighted mean of the per-layer firing rates (as a fraction in [0, 1])."""
+        if not self.per_layer_rate:
+            return 0.0
+        return float(np.mean(list(self.per_layer_rate.values())))
+
+    @property
+    def average_firing_rate_percent(self) -> float:
+        """Average firing rate expressed in percent, as reported in the paper."""
+        return 100.0 * self.average_firing_rate
+
+    @property
+    def total_spikes(self) -> float:
+        """Total spike count across all layers."""
+        return float(sum(self.per_layer_spikes.values()))
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"average firing rate: {self.average_firing_rate_percent:.2f}% over {self.num_steps} steps"]
+        for name, rate in sorted(self.per_layer_rate.items()):
+            lines.append(f"  {name or '<root>'}: {100.0 * rate:.2f}%")
+        return "\n".join(lines)
+
+
+class FiringRateMonitor:
+    """Context manager recording spikes from every spiking layer of a model.
+
+    Usage::
+
+        monitor = FiringRateMonitor(model)
+        with monitor:
+            runner(batch)              # any number of forward passes
+        stats = monitor.statistics()
+        print(stats.average_firing_rate_percent)
+    """
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self._layers: Dict[str, SpikingNeuron] = {
+            name: module for name, module in model.named_modules() if isinstance(module, SpikingNeuron)
+        }
+        self._previous_flags: Dict[str, bool] = {}
+
+    def __enter__(self) -> "FiringRateMonitor":
+        for name, layer in self._layers.items():
+            self._previous_flags[name] = layer.record_spikes
+            layer.record_spikes = True
+            layer.spike_record = []
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        for name, layer in self._layers.items():
+            layer.record_spikes = self._previous_flags.get(name, False)
+        return None
+
+    def statistics(self) -> SpikeStatistics:
+        """Build :class:`SpikeStatistics` from the recorded spike trains."""
+        stats = SpikeStatistics()
+        max_steps = 0
+        for name, layer in self._layers.items():
+            records: List[np.ndarray] = layer.spike_record
+            if not records:
+                stats.per_layer_rate[name] = 0.0
+                stats.per_layer_spikes[name] = 0.0
+                continue
+            rates = [float(step.mean()) for step in records]
+            stats.per_layer_rate[name] = float(np.mean(rates))
+            stats.per_layer_spikes[name] = float(sum(step.sum() for step in records))
+            max_steps = max(max_steps, len(records))
+        stats.num_steps = max_steps
+        return stats
+
+    def clear(self) -> None:
+        """Drop all recorded spikes (keeps recording enabled)."""
+        for layer in self._layers.values():
+            layer.spike_record = []
+
+
+def average_firing_rate(model: Module) -> float:
+    """Convenience: average firing rate (fraction) from currently recorded spikes.
+
+    Assumes the model's spiking layers have ``record_spikes`` enabled (e.g. by
+    a surrounding :class:`FiringRateMonitor`) and have run at least one
+    sequence.
+    """
+    rates = []
+    for module in model.modules():
+        if isinstance(module, SpikingNeuron) and module.spike_record:
+            rates.append(module.firing_rate())
+    if not rates:
+        return 0.0
+    return float(np.mean(rates))

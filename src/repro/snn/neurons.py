@@ -1,0 +1,329 @@
+"""Spiking neuron layers.
+
+All neurons follow the stateful one-step convention of snnTorch: calling the
+module with the synaptic input for time step ``t`` updates the internal
+membrane potential and returns the emitted spikes.  The temporal runner
+(:mod:`repro.snn.temporal`) resets the state before each sequence and loops
+over the time steps; BPTT falls out of the recorded autodiff graph because the
+membrane state tensors stay connected across steps.
+
+The discrete leaky integrate-and-fire (LIF) update implemented here is
+
+    U[t] = beta * U[t-1] + I[t] - reset_term
+    S[t] = H(U[t] - theta)
+
+with either *soft reset* (subtract ``theta`` whenever a spike was emitted at
+the previous step) or *hard reset* (zero the membrane), matching
+``snntorch.Leaky(beta, threshold, reset_mechanism)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.snn.surrogate import FastSigmoidSurrogate, SurrogateGradient, get_surrogate, spike_function
+
+
+class SpikingNeuron(Module):
+    """Base class for stateful spiking neuron layers.
+
+    Subclasses implement :meth:`forward` and use :attr:`membrane` /
+    :attr:`previous_spikes` to carry state between time steps.  The base class
+    handles state reset, detachment (for truncated BPTT) and optional spike
+    recording used by the firing-rate monitors.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        surrogate: SurrogateGradient | str = "fast_sigmoid",
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__()
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if reset_mechanism not in ("subtract", "zero", "none"):
+            raise ValueError(f"reset_mechanism must be 'subtract', 'zero' or 'none', got {reset_mechanism!r}")
+        self.threshold = float(threshold)
+        self.surrogate = get_surrogate(surrogate)
+        self.reset_mechanism = reset_mechanism
+        self.membrane: Optional[Tensor] = None
+        self.previous_spikes: Optional[Tensor] = None
+        self.record_spikes = False
+        self.spike_record: list = []
+
+    # ------------------------------------------------------------------
+    # state handling
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Clear the membrane potential and spike history (start of a sequence)."""
+        self.membrane = None
+        self.previous_spikes = None
+        self.spike_record = []
+
+    def detach_state(self) -> None:
+        """Cut the state from the autodiff graph (truncated BPTT boundary)."""
+        if self.membrane is not None:
+            self.membrane = Tensor(self.membrane.data.copy(), requires_grad=False)
+        if self.previous_spikes is not None:
+            self.previous_spikes = Tensor(self.previous_spikes.data.copy(), requires_grad=False)
+
+    def _apply_reset(self, membrane: Tensor) -> Tensor:
+        """Apply the configured reset using the spikes from the previous step."""
+        if self.previous_spikes is None or self.reset_mechanism == "none":
+            return membrane
+        if self.reset_mechanism == "subtract":
+            return membrane - self.previous_spikes.detach() * self.threshold
+        # hard reset: zero the membrane wherever the neuron fired
+        return membrane * (1.0 - self.previous_spikes.detach())
+
+    def _emit(self, membrane: Tensor) -> Tensor:
+        """Emit spikes from ``membrane``, updating state and optional records."""
+        spikes = spike_function(membrane, self.threshold, self.surrogate)
+        self.membrane = membrane
+        self.previous_spikes = spikes
+        if self.record_spikes:
+            self.spike_record.append(spikes.data.copy())
+        return spikes
+
+    def firing_rate(self) -> float:
+        """Mean firing probability over the recorded steps (requires recording)."""
+        if not self.spike_record:
+            return 0.0
+        total = sum(float(s.mean()) for s in self.spike_record)
+        return total / len(self.spike_record)
+
+
+class LIFNeuron(SpikingNeuron):
+    """Leaky integrate-and-fire neuron (snnTorch ``Leaky`` equivalent).
+
+    Parameters
+    ----------
+    beta:
+        Membrane decay factor in (0, 1].  ``beta=1`` recovers the
+        non-leaky integrate-and-fire neuron.
+    threshold:
+        Firing threshold ``theta``.
+    surrogate:
+        Surrogate gradient (name or instance), default fast sigmoid.
+    reset_mechanism:
+        ``"subtract"`` (soft reset, default), ``"zero"`` (hard reset) or
+        ``"none"``.
+    learn_beta:
+        Reserved for future use (the paper keeps beta fixed); accepted for
+        API compatibility but must be ``False``.
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.9,
+        threshold: float = 1.0,
+        surrogate: SurrogateGradient | str = "fast_sigmoid",
+        reset_mechanism: str = "subtract",
+        learn_beta: bool = False,
+    ) -> None:
+        super().__init__(threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        if learn_beta:
+            raise NotImplementedError("learnable beta is not supported in this reproduction")
+        self.beta = float(beta)
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        if self.membrane is None:
+            membrane = synaptic_input
+        else:
+            membrane = self._apply_reset(self.membrane) * self.beta + synaptic_input
+        return self._emit(membrane)
+
+    def extra_repr(self) -> str:
+        return (
+            f"beta={self.beta}, threshold={self.threshold}, "
+            f"reset={self.reset_mechanism!r}, surrogate={self.surrogate.name!r}"
+        )
+
+
+class IFNeuron(SpikingNeuron):
+    """Non-leaky integrate-and-fire neuron (``beta = 1``)."""
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        surrogate: SurrogateGradient | str = "fast_sigmoid",
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        if self.membrane is None:
+            membrane = synaptic_input
+        else:
+            membrane = self._apply_reset(self.membrane) + synaptic_input
+        return self._emit(membrane)
+
+    def extra_repr(self) -> str:
+        return f"threshold={self.threshold}, reset={self.reset_mechanism!r}"
+
+
+class ALIFNeuron(SpikingNeuron):
+    """Adaptive leaky integrate-and-fire neuron (threshold adaptation).
+
+    On top of the LIF dynamics the firing threshold increases by ``adaptation``
+    after every emitted spike and decays back towards the base threshold with
+    factor ``adaptation_decay``:
+
+        theta[t] = threshold + a[t]
+        a[t]     = adaptation_decay * a[t-1] + adaptation * S[t-1]
+
+    Threshold adaptation is the standard mechanism for keeping firing rates
+    sparse without hand-tuning the static threshold — directly relevant to the
+    energy/accuracy trade-off the paper discusses, and useful as a drop-in
+    replacement for :class:`LIFNeuron` in the templates (pass a custom
+    ``NeuronConfig``-like factory).
+    """
+
+    def __init__(
+        self,
+        beta: float = 0.9,
+        threshold: float = 1.0,
+        adaptation: float = 0.2,
+        adaptation_decay: float = 0.9,
+        surrogate: SurrogateGradient | str = "fast_sigmoid",
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        if adaptation < 0:
+            raise ValueError(f"adaptation must be non-negative, got {adaptation}")
+        if not 0.0 <= adaptation_decay < 1.0:
+            raise ValueError(f"adaptation_decay must be in [0, 1), got {adaptation_decay}")
+        self.beta = float(beta)
+        self.adaptation = float(adaptation)
+        self.adaptation_decay = float(adaptation_decay)
+        self._adaptive_component = None  # numpy array, not part of the autodiff graph
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._adaptive_component = None
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        import numpy as np
+
+        if self.membrane is None:
+            membrane = synaptic_input
+        else:
+            membrane = self._apply_reset(self.membrane) * self.beta + synaptic_input
+        # update the (non-differentiable) threshold adaptation from past spikes
+        if self._adaptive_component is None:
+            self._adaptive_component = np.zeros_like(membrane.data)
+        else:
+            self._adaptive_component = self.adaptation_decay * self._adaptive_component
+            if self.previous_spikes is not None:
+                self._adaptive_component = self._adaptive_component + self.adaptation * self.previous_spikes.data
+        # effective threshold shift is applied to the input of the spike function
+        shifted = membrane - Tensor(self._adaptive_component)
+        spikes = spike_function(shifted, self.threshold, self.surrogate)
+        self.membrane = membrane
+        self.previous_spikes = spikes
+        if self.record_spikes:
+            self.spike_record.append(spikes.data.copy())
+        return spikes
+
+    def extra_repr(self) -> str:
+        return (
+            f"beta={self.beta}, threshold={self.threshold}, adaptation={self.adaptation}, "
+            f"adaptation_decay={self.adaptation_decay}"
+        )
+
+
+class SynapticNeuron(SpikingNeuron):
+    """Second-order (synaptic conductance) LIF neuron (snnTorch ``Synaptic``).
+
+    The synaptic current is itself a decaying state variable:
+
+        I[t] = alpha * I[t-1] + X[t]
+        U[t] = beta * U[t-1] + I[t] - reset_term
+
+    which low-pass-filters the input spikes and produces smoother membrane
+    trajectories — often easier to train on event data with sparse frames.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.8,
+        beta: float = 0.9,
+        threshold: float = 1.0,
+        surrogate: SurrogateGradient | str = "fast_sigmoid",
+        reset_mechanism: str = "subtract",
+    ) -> None:
+        super().__init__(threshold=threshold, surrogate=surrogate, reset_mechanism=reset_mechanism)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.current: Optional[Tensor] = None
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.current = None
+
+    def detach_state(self) -> None:
+        super().detach_state()
+        if self.current is not None:
+            self.current = Tensor(self.current.data.copy(), requires_grad=False)
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        if self.current is None:
+            current = synaptic_input
+        else:
+            current = self.current * self.alpha + synaptic_input
+        if self.membrane is None:
+            membrane = current
+        else:
+            membrane = self._apply_reset(self.membrane) * self.beta + current
+        self.current = current
+        return self._emit(membrane)
+
+    def extra_repr(self) -> str:
+        return f"alpha={self.alpha}, beta={self.beta}, threshold={self.threshold}"
+
+
+class LeakyIntegrator(Module):
+    """Non-spiking leaky integrator used as the network readout.
+
+    Accumulates the logits layer's output over time without thresholding,
+    ``U[t] = beta * U[t-1] + I[t]``; classification uses the final (or
+    time-averaged) membrane value.  This mirrors the common snnTorch practice
+    of reading class scores from membrane potentials rather than spikes.
+    """
+
+    def __init__(self, beta: float = 0.9) -> None:
+        super().__init__()
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.beta = float(beta)
+        self.membrane: Optional[Tensor] = None
+
+    def reset_state(self) -> None:
+        """Clear the accumulated membrane potential."""
+        self.membrane = None
+
+    def detach_state(self) -> None:
+        """Cut the membrane from the autodiff graph."""
+        if self.membrane is not None:
+            self.membrane = Tensor(self.membrane.data.copy(), requires_grad=False)
+
+    def forward(self, synaptic_input: Tensor) -> Tensor:
+        if self.membrane is None:
+            self.membrane = synaptic_input
+        else:
+            self.membrane = self.membrane * self.beta + synaptic_input
+        return self.membrane
+
+    def extra_repr(self) -> str:
+        return f"beta={self.beta}"

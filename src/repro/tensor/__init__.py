@@ -1,0 +1,99 @@
+"""Reverse-mode automatic differentiation on top of NumPy.
+
+This package is the lowest-level substrate of the reproduction.  The paper
+trains spiking neural networks with surrogate-gradient backpropagation through
+time using snnTorch/PyTorch; since no deep-learning framework is available in
+this environment we implement the required machinery from scratch:
+
+* :class:`repro.tensor.Tensor` — an n-dimensional array with a ``grad`` buffer
+  and a recorded backward graph (define-by-run, reverse-mode).
+* :mod:`repro.tensor.ops` — differentiable primitives (arithmetic, matmul,
+  reductions, reshaping, concatenation, indexing, nonlinearities).
+* :mod:`repro.tensor.conv` — im2col-based 2-D convolution and pooling with
+  hand-written backward passes (the hot path of every experiment).
+* :mod:`repro.tensor.gradcheck` — finite-difference gradient checking used by
+  the test-suite to validate every primitive.
+
+Only vectorised NumPy is used in the hot paths (see the HPC guide: avoid
+Python-level loops over array elements, prefer views over copies, use in-place
+accumulation for gradients).
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import ops
+from repro.tensor.ops import (
+    add,
+    broadcast_to,
+    concat,
+    clip,
+    div,
+    dropout_mask,
+    exp,
+    getitem,
+    log,
+    log_softmax,
+    matmul,
+    maximum,
+    mean,
+    minimum,
+    mul,
+    neg,
+    pad2d,
+    power,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    stack,
+    sub,
+    sum as tensor_sum,
+    tanh,
+    transpose,
+    where,
+)
+from repro.tensor.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+from repro.tensor.random import default_rng, seed_everything
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "add",
+    "broadcast_to",
+    "concat",
+    "clip",
+    "div",
+    "dropout_mask",
+    "exp",
+    "getitem",
+    "log",
+    "log_softmax",
+    "matmul",
+    "maximum",
+    "mean",
+    "minimum",
+    "mul",
+    "neg",
+    "pad2d",
+    "power",
+    "relu",
+    "reshape",
+    "sigmoid",
+    "softmax",
+    "stack",
+    "sub",
+    "tensor_sum",
+    "tanh",
+    "transpose",
+    "where",
+    "avg_pool2d",
+    "conv2d",
+    "global_avg_pool2d",
+    "max_pool2d",
+    "gradcheck",
+    "numerical_gradient",
+    "default_rng",
+    "seed_everything",
+]

@@ -1,0 +1,237 @@
+"""Differentiable 2-D convolution and pooling built on im2col.
+
+These are the hot paths of every experiment in the paper (all three adapted
+architectures are convolutional, and the SNN unrolls them over time), so the
+implementation is fully vectorised:
+
+* the im2col "lowering" is produced with :func:`numpy.lib.stride_tricks.as_strided`
+  so no data is copied to build the patch view;
+* the contraction between patches and filters is a single ``einsum`` call that
+  also handles grouped convolution (needed for the MobileNetV2 depthwise
+  blocks) without a Python loop over groups;
+* the backward col2im accumulation loops only over the *kernel* positions
+  (e.g. 9 iterations for a 3x3 kernel), never over batch or spatial positions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.tensor.tensor import Tensor, ensure_tensor, is_grad_enabled
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a pair."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_shape(
+    height: int, width: int, kernel_size: IntOrPair, stride: IntOrPair = 1, padding: IntOrPair = 0
+) -> Tuple[int, int]:
+    """Return the spatial output shape of a conv/pool with the given geometry."""
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv geometry produces empty output: input {height}x{width}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}"
+        )
+    return out_h, out_w
+
+
+def _im2col_view(padded: np.ndarray, kh: int, kw: int, sh: int, sw: int, out_h: int, out_w: int) -> np.ndarray:
+    """Return a (N, C, KH, KW, OH, OW) strided view of the padded input."""
+    n, c, _, _ = padded.shape
+    stride_n, stride_c, stride_h, stride_w = padded.strides
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
+    return as_strided(padded, shape=shape, strides=strides, writeable=False)
+
+
+def _col2im(
+    col_grad: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+    ph: int,
+    pw: int,
+) -> np.ndarray:
+    """Scatter-add a (N, C, KH, KW, OH, OW) gradient back onto the input."""
+    n, c, h, w = input_shape
+    out_h = col_grad.shape[4]
+    out_w = col_grad.shape[5]
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=col_grad.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += col_grad[:, :, i, j]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def conv2d(
+    x,
+    weight,
+    bias=None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Grouped 2-D convolution over an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in // groups, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Convolution geometry (int or pair).
+    groups:
+        Number of channel groups; ``groups == C_in`` gives a depthwise
+        convolution as used by MobileNetV2's inverted residual blocks.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    bias = ensure_tensor(bias) if bias is not None else None
+
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    if c_in % groups != 0 or c_out % groups != 0:
+        raise ValueError(f"groups={groups} must divide both C_in={c_in} and C_out={c_out}")
+    if c_in // groups != c_in_per_group:
+        raise ValueError(
+            f"weight expects {c_in_per_group} input channels per group but input provides {c_in // groups}"
+        )
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        padded = x.data
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    # (N, G, Cg, KH, KW, OH, OW) x (G, Og, Cg, KH, KW) -> (N, G, Og, OH, OW)
+    col_g = col.reshape(n, groups, c_in_per_group, kh, kw, out_h, out_w)
+    w_g = weight.data.reshape(groups, c_out // groups, c_in_per_group, kh, kw)
+    out = np.einsum("ngcuvhw,gocuv->ngohw", col_g, w_g, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [p for p in (x, weight, bias) if p is not None]
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(out)
+
+    result = Tensor(out, requires_grad=True, _prev=parents)
+
+    def _backward() -> None:
+        grad_out = result.grad.reshape(n, groups, c_out // groups, out_h, out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("ngcuvhw,ngohw->gocuv", col_g, grad_out, optimize=True)
+            weight.accumulate_grad(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(result.grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_col = np.einsum("gocuv,ngohw->ngcuvhw", w_g, grad_out, optimize=True)
+            grad_col = grad_col.reshape(n, c_in, kh, kw, out_h, out_w)
+            x.accumulate_grad(_col2im(grad_col, (n, c_in, h, w), kh, kw, sh, sw, ph, pw))
+
+    result._backward = _backward
+    return result
+
+
+def max_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: IntOrPair = 0) -> Tensor:
+    """2-D max pooling over an NCHW tensor."""
+    x = ensure_tensor(x)
+    kh, kw = _pair(kernel_size)
+    if stride is None:
+        stride = (kh, kw)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf)
+    else:
+        padded = x.data
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    col_flat = col.reshape(n, c, kh * kw, out_h, out_w)
+    arg = col_flat.argmax(axis=2)
+    out = np.take_along_axis(col_flat, arg[:, :, None], axis=2)[:, :, 0]
+
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    result = Tensor(out, requires_grad=True, _prev=(x,))
+
+    def _backward() -> None:
+        grad_col = np.zeros((n, c, kh * kw, out_h, out_w), dtype=np.float64)
+        np.put_along_axis(grad_col, arg[:, :, None], result.grad[:, :, None], axis=2)
+        grad_col = grad_col.reshape(n, c, kh, kw, out_h, out_w)
+        x.accumulate_grad(_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw))
+
+    result._backward = _backward
+    return result
+
+
+def avg_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: IntOrPair = 0) -> Tensor:
+    """2-D average pooling over an NCHW tensor."""
+    x = ensure_tensor(x)
+    kh, kw = _pair(kernel_size)
+    if stride is None:
+        stride = (kh, kw)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        padded = x.data
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    out = col.mean(axis=(2, 3))
+
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    result = Tensor(out, requires_grad=True, _prev=(x,))
+
+    def _backward() -> None:
+        scale = 1.0 / (kh * kw)
+        grad_col = np.broadcast_to(
+            result.grad[:, :, None, None] * scale, (n, c, kh, kw, out_h, out_w)
+        ).astype(np.float64)
+        x.accumulate_grad(_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw))
+
+    result._backward = _backward
+    return result
+
+
+def global_avg_pool2d(x) -> Tensor:
+    """Average over the spatial dimensions, returning ``(N, C)``."""
+    x = ensure_tensor(x)
+    pooled = x.mean(axis=(2, 3))
+    return pooled

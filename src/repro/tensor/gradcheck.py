@@ -1,0 +1,90 @@
+"""Finite-difference gradient checking.
+
+Used throughout the test-suite to validate every differentiable primitive and
+layer against a central-difference approximation.  The check is the standard
+
+    (f(x + eps) - f(x - eps)) / (2 * eps)
+
+applied element by element to each input that requires gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``func(*inputs).sum()`` w.r.t. ``inputs[index]``.
+
+    The function output is reduced with ``sum()`` so the result has the same
+    shape as the chosen input.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(func(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> Tuple[bool, float]:
+    """Compare analytic and numerical gradients of ``func``.
+
+    Parameters
+    ----------
+    func:
+        Callable mapping the input tensors to an output tensor.  The scalar
+        loss used for differentiation is ``output.sum()``.
+    inputs:
+        Tensors passed positionally to ``func``.  Only those with
+        ``requires_grad=True`` are checked.
+    eps, atol, rtol:
+        Finite-difference step and comparison tolerances.
+
+    Returns
+    -------
+    (ok, max_abs_error):
+        ``ok`` is True when every checked gradient matches within tolerance;
+        ``max_abs_error`` is the largest absolute deviation observed.
+    """
+    for tensor in inputs:
+        if tensor.grad is not None:
+            tensor.zero_grad()
+    output = func(*inputs)
+    loss = output.sum()
+    loss.backward()
+
+    max_error = 0.0
+    ok = True
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, index, eps=eps)
+        error = np.abs(analytic - numeric)
+        max_error = max(max_error, float(error.max()) if error.size else 0.0)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            ok = False
+    return ok, max_error

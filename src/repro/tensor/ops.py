@@ -1,0 +1,576 @@
+"""Differentiable primitives operating on :class:`repro.tensor.Tensor`.
+
+Every function here follows the same pattern:
+
+1. run the vectorised NumPy forward computation;
+2. if gradients are enabled and at least one input requires them, attach a
+   ``_backward`` closure that maps the output gradient to input gradients and
+   accumulates them in place.
+
+The closures capture only what they need (typically the input data arrays or
+cheap masks), keeping memory pressure manageable for BPTT-unrolled spiking
+networks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _as_array, _unbroadcast, ensure_tensor, is_grad_enabled
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+def _make(data: np.ndarray, parents: Sequence[Tensor], backward) -> Tensor:
+    """Build an output tensor, wiring the graph only when grad is required."""
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        return Tensor(data)
+    out = Tensor(data, requires_grad=True, _prev=[p for p in parents if p.requires_grad or p._prev])
+    out._backward = backward(out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    """Elementwise/broadcasted addition."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = a.data + b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(out.grad, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    """Elementwise/broadcasted subtraction ``a - b``."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = a.data - b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(-out.grad, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    """Elementwise/broadcasted multiplication."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = a.data * b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad * b.data, a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(out.grad * a.data, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    """Elementwise/broadcasted division ``a / b``."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = a.data / b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad / b.data, a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(-out.grad * a.data / (b.data ** 2), b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    """Elementwise negation."""
+    a = ensure_tensor(a)
+    data = -a.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(-out.grad)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant exponent."""
+    a = ensure_tensor(a)
+    data = a.data ** exponent
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * exponent * a.data ** (exponent - 1))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting 2-D weight matrices and batched inputs."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = a.data @ b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                grad_a = out.grad @ np.swapaxes(b.data, -1, -2)
+                a.accumulate_grad(_unbroadcast(grad_a, a.shape))
+            if b.requires_grad:
+                grad_b = np.swapaxes(a.data, -1, -2) @ out.grad
+                b.accumulate_grad(_unbroadcast(grad_b, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# elementwise nonlinearities
+# ---------------------------------------------------------------------------
+
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = ensure_tensor(a)
+    data = np.exp(a.data)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * out.data)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = ensure_tensor(a)
+    data = np.log(a.data)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad / a.data)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = ensure_tensor(a)
+    data = np.tanh(a.data)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * (1.0 - out.data ** 2))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    """Numerically stable elementwise logistic sigmoid."""
+    a = ensure_tensor(a)
+    x = a.data
+    data = np.empty_like(x)
+    pos = x >= 0
+    data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    data[~pos] = ex / (1.0 + ex)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * out.data * (1.0 - out.data))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    """Elementwise rectified linear unit."""
+    a = ensure_tensor(a)
+    mask = a.data > 0
+    data = a.data * mask
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * mask)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside the range."""
+    a = ensure_tensor(a)
+    data = np.clip(a.data, low, high)
+    mask = (a.data >= low) & (a.data <= high)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * mask)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; gradient routed to the winning input (ties split)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = np.maximum(a.data, b.data)
+    a_wins = a.data > b.data
+    tie = a.data == b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad * (a_wins + 0.5 * tie), a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(out.grad * (~a_wins & ~tie) + out.grad * 0.5 * tie, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; gradient routed to the winning input (ties split)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = np.minimum(a.data, b.data)
+    a_wins = a.data < b.data
+    tie = a.data == b.data
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad * (a_wins + 0.5 * tie), a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(out.grad * (~a_wins & ~tie) + out.grad * 0.5 * tie, b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Select ``a`` where ``condition`` else ``b``; condition is non-differentiable."""
+    cond = _as_array(condition).astype(bool)
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad * cond, a.shape))
+            if b.requires_grad:
+                b.accumulate_grad(_unbroadcast(out.grad * (~cond), b.shape))
+
+        return _backward
+
+    return _make(data, (a, b), backward)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all axes by default)."""
+    a = ensure_tensor(a)
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if not a.requires_grad:
+                return
+            grad = out.grad
+            if not keepdims and axis is not None:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
+            a.accumulate_grad(np.broadcast_to(grad, a.shape).astype(np.float64))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Mean over ``axis`` (all axes by default)."""
+    a = ensure_tensor(a)
+    data = a.data.mean(axis=axis, keepdims=keepdims)
+    if axis is None:
+        count = a.data.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = 1
+        for ax in axes:
+            count *= a.data.shape[ax]
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if not a.requires_grad:
+                return
+            grad = out.grad / count
+            if not keepdims and axis is not None:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
+            a.accumulate_grad(np.broadcast_to(grad, a.shape).astype(np.float64))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Maximum over ``axis``; gradient flows to (all) argmax positions."""
+    a = ensure_tensor(a)
+    data = a.data.max(axis=axis, keepdims=keepdims)
+    expanded = a.data.max(axis=axis, keepdims=True)
+    mask = (a.data == expanded).astype(np.float64)
+    mask_norm = mask / mask.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if not a.requires_grad:
+                return
+            grad = out.grad
+            if not keepdims and axis is not None:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
+            elif not keepdims and axis is None:
+                grad = np.asarray(grad).reshape((1,) * a.data.ndim)
+            a.accumulate_grad(np.broadcast_to(grad, a.shape) * mask_norm)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    """Reshape without copying data."""
+    a = ensure_tensor(a)
+    data = a.data.reshape(shape)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad.reshape(a.shape))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute axes (reverse order by default)."""
+    a = ensure_tensor(a)
+    data = np.transpose(a.data, axes=axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(np.transpose(out.grad, axes=inverse))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def broadcast_to(a, shape: Sequence[int]) -> Tensor:
+    """Broadcast to ``shape``; backward sums over expanded axes."""
+    a = ensure_tensor(a)
+    data = np.broadcast_to(a.data, shape).copy()
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` — the DSC (DenseNet-like) skip primitive."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * out.grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor.accumulate_grad(out.grad[tuple(index)])
+
+        return _backward
+
+    return _make(data, tensors, backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (used to collect per-time-step outputs)."""
+    tensors = [ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            grads = np.split(out.grad, len(tensors), axis=axis)
+            for tensor, grad in zip(tensors, grads):
+                if tensor.requires_grad:
+                    tensor.accumulate_grad(np.squeeze(grad, axis=axis))
+
+        return _backward
+
+    return _make(data, tensors, backward)
+
+
+def getitem(a, index) -> Tensor:
+    """Differentiable indexing/slicing."""
+    a = ensure_tensor(a)
+    data = a.data[index]
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                grad = np.zeros_like(a.data, dtype=np.float64)
+                np.add.at(grad, index, out.grad)
+                a.accumulate_grad(grad)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def pad2d(a, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    a = ensure_tensor(a)
+    if padding == 0:
+        return a
+    pad_width = [(0, 0)] * (a.data.ndim - 2) + [(padding, padding), (padding, padding)]
+    data = np.pad(a.data, pad_width)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                slices = tuple(
+                    slice(None) if p == (0, 0) else slice(p[0], -p[1]) for p in pad_width
+                )
+                a.accumulate_grad(out.grad[slices])
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+# ---------------------------------------------------------------------------
+# composite ops
+# ---------------------------------------------------------------------------
+
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                s = out.data
+                dot = (out.grad * s).sum(axis=axis, keepdims=True)
+                a.accumulate_grad(s * (out.grad - dot))
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    a = ensure_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_sum
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                softmax_vals = np.exp(out.data)
+                grad_sum = out.grad.sum(axis=axis, keepdims=True)
+                a.accumulate_grad(out.grad - softmax_vals * grad_sum)
+
+        return _backward
+
+    return _make(data, (a,), backward)
+
+
+def dropout_mask(a, drop_probability: float, rng: np.random.Generator) -> Tensor:
+    """Apply inverted dropout using ``rng``; identity when ``drop_probability<=0``."""
+    a = ensure_tensor(a)
+    if drop_probability <= 0.0:
+        return a
+    keep = 1.0 - drop_probability
+    mask = (rng.random(a.shape) < keep).astype(np.float64) / keep
+    data = a.data * mask
+
+    def backward(out: Tensor):
+        def _backward() -> None:
+            if a.requires_grad:
+                a.accumulate_grad(out.grad * mask)
+
+        return _backward
+
+    return _make(data, (a,), backward)

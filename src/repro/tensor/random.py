@@ -1,0 +1,54 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component of the reproduction (weight initialisation,
+synthetic data generation, Bayesian-optimization seeding, random search)
+accepts an explicit :class:`numpy.random.Generator` so that experiments are
+reproducible bit-for-bit given a seed.  This module centralises construction
+of those generators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+_GLOBAL_SEED: Optional[int] = None
+
+
+def default_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy, or the global seed if one was installed
+    with :func:`seed_everything`), an integer seed, or an existing generator
+    which is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None and _GLOBAL_SEED is not None:
+        return np.random.default_rng(_GLOBAL_SEED)
+    return np.random.default_rng(seed)
+
+
+def seed_everything(seed: int) -> None:
+    """Install ``seed`` as the process-wide default seed.
+
+    Subsequent calls to :func:`default_rng` with ``seed=None`` return
+    generators seeded from this value, and NumPy's legacy global state is
+    seeded as well for any third-party code that still uses it.
+    """
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+    np.random.seed(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used by the parallel Bayesian-optimization evaluator so every concurrently
+    trained candidate sees an independent, reproducible stream.
+    """
+    parent = default_rng(seed)
+    return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(count)]

@@ -1,0 +1,85 @@
+"""Evaluation helpers: accuracy, confusion matrices and firing-rate evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.loaders import ArrayDataset
+from repro.nn.losses import confusion_matrix
+from repro.nn.module import Module
+from repro.snn.metrics import FiringRateMonitor, SpikeStatistics
+from repro.tensor import Tensor, no_grad
+
+
+def _forward_batches(model: Module, dataset: ArrayDataset, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the model over the dataset and collect raw scores and labels."""
+    scores = []
+    labels = []
+    n = len(dataset)
+    if n == 0:
+        return np.zeros((0, dataset.num_classes)), np.zeros(0, dtype=np.int64)
+    for start in range(0, n, batch_size):
+        inputs, targets = dataset[np.arange(start, min(start + batch_size, n))]
+        with no_grad():
+            output = model(Tensor(inputs))
+        scores.append(output.data)
+        labels.append(targets)
+    return np.concatenate(scores, axis=0), np.concatenate(labels, axis=0)
+
+
+def evaluate_classifier(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 32,
+    return_confusion: bool = False,
+):
+    """Top-1 accuracy of ``model`` on ``dataset`` (optionally with confusion matrix).
+
+    ``model`` must map an input batch to logits; spiking models should be
+    wrapped in :class:`repro.snn.temporal.TemporalRunner` first.  The model is
+    switched to evaluation mode for the duration of the call and restored
+    afterwards.
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        scores, labels = _forward_batches(model, dataset, batch_size)
+    finally:
+        model.train(was_training)
+    predictions = scores.argmax(axis=1)
+    acc = float((predictions == labels).mean()) if len(labels) else 0.0
+    if return_confusion:
+        return acc, confusion_matrix(scores, labels, dataset.num_classes)
+    return acc
+
+
+def evaluate_with_spikes(
+    model: Module,
+    spiking_core: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 32,
+) -> Tuple[float, SpikeStatistics]:
+    """Accuracy plus spiking statistics in a single pass.
+
+    Parameters
+    ----------
+    model:
+        The callable evaluated on batches (typically a ``TemporalRunner``).
+    spiking_core:
+        The module whose spiking layers should be monitored (typically the
+        runner's wrapped model).
+    """
+    monitor = FiringRateMonitor(spiking_core)
+    was_training = model.training
+    model.eval()
+    try:
+        with monitor:
+            scores, labels = _forward_batches(model, dataset, batch_size)
+        stats = monitor.statistics()
+    finally:
+        model.train(was_training)
+    predictions = scores.argmax(axis=1)
+    acc = float((predictions == labels).mean()) if len(labels) else 0.0
+    return acc, stats

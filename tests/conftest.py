@@ -1,0 +1,83 @@
+"""Shared fixtures for the test-suite.
+
+Everything is kept tiny (a handful of samples, 8-10 pixel images, few time
+steps) so the whole suite runs in a couple of minutes on one CPU core while
+still exercising every code path end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import ASC, DSC, BlockAdjacency
+from repro.core.search_space import ArchitectureSpec
+from repro.data import load_dataset
+from repro.data.loaders import ArrayDataset, DatasetSplits, train_val_test_split
+from repro.models import build_single_block_template, get_template
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator shared by tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_static_splits() -> DatasetSplits:
+    """A very small synthetic CIFAR-10-like dataset (static images)."""
+    return load_dataset("cifar10", num_samples=60, image_size=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dvs_splits() -> DatasetSplits:
+    """A very small synthetic CIFAR-10-DVS-like dataset (event frames)."""
+    return load_dataset("cifar10-dvs", num_samples=60, image_size=8, num_steps=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_gesture_splits() -> DatasetSplits:
+    """A very small synthetic DVS128-Gesture-like dataset."""
+    return load_dataset("dvs128-gesture", num_samples=44, image_size=8, num_steps=4, seed=0)
+
+
+@pytest.fixture
+def two_class_images() -> ArrayDataset:
+    """A linearly separable 2-class image toy problem (bright top vs bottom)."""
+    rng = np.random.default_rng(7)
+    n = 32
+    images = rng.random((n, 1, 8, 8)) * 0.1
+    labels = np.arange(n) % 2
+    for i, cls in enumerate(labels):
+        if cls == 0:
+            images[i, 0, :4, :] += 0.9
+        else:
+            images[i, 0, 4:, :] += 0.9
+    return ArrayDataset(np.clip(images, 0, 1), labels, num_classes=2)
+
+
+@pytest.fixture
+def two_class_splits(two_class_images) -> DatasetSplits:
+    """Train/val/test splits of the 2-class toy problem."""
+    return train_val_test_split(two_class_images, val_fraction=0.2, test_fraction=0.2, rng=3, name="toy2")
+
+
+@pytest.fixture
+def single_block_template():
+    """Single-block template matching the tiny DVS dataset (2 channels, 10 classes)."""
+    return build_single_block_template(input_channels=2, num_classes=10, channels=4)
+
+
+@pytest.fixture
+def tiny_resnet_template():
+    """Very small ResNet-18-style template matching the tiny DVS dataset."""
+    return get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(4, 6))
+
+
+@pytest.fixture
+def example_spec(single_block_template) -> ArchitectureSpec:
+    """An architecture spec with one DSC and one ASC connection."""
+    adjacency = BlockAdjacency(4)
+    adjacency.matrix[0, 2] = DSC
+    adjacency.matrix[1, 4] = ASC
+    return ArchitectureSpec([adjacency], name="example")

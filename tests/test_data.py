@@ -1,0 +1,273 @@
+"""Tests of the synthetic datasets, loaders and transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    BatchLoader,
+    Compose,
+    DatasetSplits,
+    EventFrameNormalize,
+    Normalize,
+    RandomHorizontalFlip,
+    RandomTranslate,
+    TimeSubsample,
+    available_datasets,
+    events_to_frames,
+    load_dataset,
+    make_synthetic_cifar10,
+    make_synthetic_cifar10_dvs,
+    make_synthetic_dvs_gesture,
+    train_val_test_split,
+)
+from repro.data.synthetic_cifar import SyntheticCIFAR10Config, generate_sample
+from repro.data.synthetic_dvs import DVSEventConfig, generate_event_stream
+from repro.data.synthetic_gesture import GESTURE_NAMES, GestureConfig, generate_gesture_sample
+
+
+class TestArrayDataset:
+    def test_basic_properties(self, rng):
+        data = ArrayDataset(rng.random((10, 3, 4, 4)), np.arange(10) % 2)
+        assert len(data) == 10
+        assert data.num_classes == 2
+        assert data.sample_shape == (3, 4, 4)
+        assert not data.is_temporal
+
+    def test_temporal_flag(self, rng):
+        data = ArrayDataset(rng.random((4, 6, 2, 4, 4)), np.zeros(4))
+        assert data.is_temporal
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.random((4, 1, 2, 2)), np.zeros(5))
+
+    def test_subset_and_class_counts(self, rng):
+        data = ArrayDataset(rng.random((10, 1, 2, 2)), np.arange(10) % 5)
+        subset = data.subset(np.array([0, 5]))
+        assert len(subset) == 2
+        assert subset.num_classes == 5
+        np.testing.assert_array_equal(data.class_counts(), np.full(5, 2))
+
+    def test_getitem_batch(self, rng):
+        data = ArrayDataset(rng.random((6, 1, 2, 2)), np.arange(6) % 2)
+        inputs, labels = data[np.array([0, 3])]
+        assert inputs.shape == (2, 1, 2, 2) and labels.shape == (2,)
+
+
+class TestSplitsAndLoader:
+    def test_stratified_split_fractions(self, rng):
+        data = ArrayDataset(rng.random((100, 1, 2, 2)), np.arange(100) % 10)
+        splits = train_val_test_split(data, val_fraction=0.2, test_fraction=0.1, rng=0)
+        assert len(splits.val) == 20 and len(splits.test) == 10 and len(splits.train) == 70
+        # stratified: every class appears in every split
+        assert np.all(splits.val.class_counts() > 0)
+        assert np.all(splits.test.class_counts() > 0)
+
+    def test_split_disjoint_and_complete(self, rng):
+        inputs = np.arange(40).reshape(40, 1, 1, 1).astype(float)
+        data = ArrayDataset(inputs, np.arange(40) % 4)
+        splits = train_val_test_split(data, 0.25, 0.25, rng=1)
+        values = np.concatenate([splits.train.inputs, splits.val.inputs, splits.test.inputs]).ravel()
+        assert sorted(values.tolist()) == list(range(40))
+
+    def test_invalid_fractions(self, rng):
+        data = ArrayDataset(rng.random((10, 1, 2, 2)), np.zeros(10))
+        with pytest.raises(ValueError):
+            train_val_test_split(data, 0.6, 0.6)
+
+    def test_splits_summary(self, tiny_dvs_splits):
+        text = tiny_dvs_splits.summary()
+        assert "train=" in text and "classes=" in text
+
+    def test_loader_covers_all_samples(self, rng):
+        data = ArrayDataset(rng.random((23, 1, 2, 2)), np.arange(23) % 3)
+        loader = BatchLoader(data, batch_size=5, shuffle=True, rng=0)
+        assert len(loader) == 5
+        seen = sum(len(labels) for _, labels in loader)
+        assert seen == 23
+
+    def test_loader_drop_last(self, rng):
+        data = ArrayDataset(rng.random((23, 1, 2, 2)), np.arange(23) % 3)
+        loader = BatchLoader(data, batch_size=5, drop_last=True, rng=0)
+        assert len(loader) == 4
+        assert sum(len(labels) for _, labels in loader) == 20
+
+    def test_loader_shuffle_changes_order_but_not_content(self, rng):
+        data = ArrayDataset(np.arange(12).reshape(12, 1, 1, 1).astype(float), np.arange(12) % 2)
+        loader = BatchLoader(data, batch_size=12, shuffle=True, rng=0)
+        (first_epoch, _), = list(loader)
+        (second_epoch, _), = list(loader)
+        assert sorted(first_epoch.ravel()) == sorted(second_epoch.ravel())
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_loader_applies_transform(self, rng):
+        data = ArrayDataset(np.ones((4, 1, 2, 2)), np.zeros(4))
+        loader = BatchLoader(data, batch_size=2, transform=lambda x, rng: x * 2.0, rng=0)
+        for inputs, _ in loader:
+            assert np.all(inputs == 2.0)
+
+    def test_invalid_batch_size(self, rng):
+        data = ArrayDataset(rng.random((4, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            BatchLoader(data, batch_size=0)
+
+
+class TestSyntheticCIFAR:
+    def test_shapes_and_ranges(self, tiny_static_splits):
+        assert tiny_static_splits.num_classes == 10
+        assert tiny_static_splits.sample_shape == (3, 8, 8)
+        assert tiny_static_splits.train.inputs.min() >= 0.0
+        assert tiny_static_splits.train.inputs.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_cifar10(num_samples=20, image_size=8, seed=5)
+        b = make_synthetic_cifar10(num_samples=20, image_size=8, seed=5)
+        np.testing.assert_allclose(a.train.inputs, b.train.inputs)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_cifar10(num_samples=20, image_size=8, seed=1)
+        b = make_synthetic_cifar10(num_samples=20, image_size=8, seed=2)
+        assert not np.allclose(a.train.inputs, b.train.inputs)
+
+    def test_classes_are_visually_distinct(self):
+        """Same-class samples must be more similar than different-class samples on average."""
+        config = SyntheticCIFAR10Config(image_size=12, noise_level=0.05, max_translation=0)
+        rng = np.random.default_rng(0)
+        same, different = [], []
+        for cls in range(4):
+            a = generate_sample(cls, config, rng)
+            b = generate_sample(cls, config, rng)
+            c = generate_sample((cls + 5) % 10, config, rng)
+            same.append(np.abs(a - b).mean())
+            different.append(np.abs(a - c).mean())
+        assert np.mean(same) < np.mean(different)
+
+    def test_all_classes_present(self):
+        splits = make_synthetic_cifar10(num_samples=100, image_size=8, seed=0)
+        assert np.all(splits.train.class_counts() > 0)
+
+
+class TestSyntheticDVS:
+    def test_shapes(self, tiny_dvs_splits):
+        assert tiny_dvs_splits.is_temporal
+        assert tiny_dvs_splits.sample_shape == (4, 2, 8, 8)
+        assert tiny_dvs_splits.num_classes == 10
+
+    def test_event_frames_are_binary(self, tiny_dvs_splits):
+        values = np.unique(tiny_dvs_splits.train.inputs)
+        assert set(values).issubset({0.0, 1.0})
+
+    def test_event_stream_generation(self):
+        config = DVSEventConfig(image_size=10, num_steps=5)
+        events, frames = generate_event_stream(3, config, np.random.default_rng(0))
+        assert frames.shape == (5, 2, 10, 10)
+        assert events.shape[1] == 4
+        assert frames.sum() > 0  # movement produces events
+
+    def test_events_to_frames_binning(self):
+        events = np.array([[0, 1, 2, 1.0], [0, 1, 2, 1.0], [2, 3, 4, -1.0]])
+        frames = events_to_frames(events, num_steps=3, image_size=6)
+        assert frames[0, 0, 1, 2] == 1.0  # clipped ON count
+        assert frames[2, 1, 3, 4] == 1.0  # OFF channel
+        assert frames.sum() == 2.0
+
+    def test_events_to_frames_empty(self):
+        frames = events_to_frames(np.zeros((0, 4)), num_steps=3, image_size=4)
+        assert frames.sum() == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_cifar10_dvs(num_samples=10, image_size=8, num_steps=4, seed=3)
+        b = make_synthetic_cifar10_dvs(num_samples=10, image_size=8, num_steps=4, seed=3)
+        np.testing.assert_allclose(a.train.inputs, b.train.inputs)
+
+
+class TestSyntheticGesture:
+    def test_eleven_classes(self, tiny_gesture_splits):
+        assert tiny_gesture_splits.num_classes == len(GESTURE_NAMES) == 11
+
+    def test_shapes(self, tiny_gesture_splits):
+        assert tiny_gesture_splits.sample_shape == (4, 2, 8, 8)
+
+    def test_every_gesture_generates_events(self):
+        config = GestureConfig(image_size=12, num_steps=8, noise_events_per_step=0)
+        for cls in range(11):
+            frames = generate_gesture_sample(cls, config, np.random.default_rng(0))
+            assert frames.sum() > 0, f"gesture {cls} produced no events"
+
+    def test_gestures_have_distinct_temporal_signatures(self):
+        """Different motion classes must produce visibly different event patterns."""
+        config = GestureConfig(image_size=12, num_steps=8, noise_events_per_step=0, speed_jitter=0.0)
+        rng = np.random.default_rng(0)
+        clap = generate_gesture_sample(0, config, rng)
+        drums = generate_gesture_sample(8, config, rng)
+        assert np.abs(clap - drums).sum() > 0
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_dvs_gesture(num_samples=11, image_size=8, num_steps=4, seed=2)
+        b = make_synthetic_dvs_gesture(num_samples=11, image_size=8, num_steps=4, seed=2)
+        np.testing.assert_allclose(a.train.inputs, b.train.inputs)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_datasets()) == {"cifar10", "cifar10-dvs", "dvs128-gesture"}
+
+    def test_aliases(self):
+        splits = load_dataset("CIFAR-10-DVS", num_samples=10, image_size=8, num_steps=3, seed=0)
+        assert splits.is_temporal
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imagenet")
+
+
+class TestTransforms:
+    def test_normalize(self, rng):
+        batch = rng.random((4, 3, 5, 5))
+        out = Normalize(mean=0.5, std=0.5)(batch, rng)
+        np.testing.assert_allclose(out, (batch - 0.5) / 0.5)
+
+    def test_normalize_per_channel(self, rng):
+        batch = rng.random((2, 3, 4, 4))
+        out = Normalize(mean=[0.1, 0.2, 0.3], std=[1.0, 1.0, 1.0])(batch, rng)
+        np.testing.assert_allclose(out[:, 1], batch[:, 1] - 0.2)
+
+    def test_normalize_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize(std=0.0)
+
+    def test_event_frame_normalize(self, rng):
+        batch = rng.random((2, 3, 2, 4, 4)) * 5
+        out = EventFrameNormalize(clip_max=2.0)(batch, rng)
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+    def test_horizontal_flip_all(self, rng):
+        batch = rng.random((3, 1, 4, 4))
+        out = RandomHorizontalFlip(p=1.0)(batch, rng)
+        np.testing.assert_allclose(out, batch[..., ::-1])
+
+    def test_horizontal_flip_none(self, rng):
+        batch = rng.random((3, 1, 4, 4))
+        out = RandomHorizontalFlip(p=0.0)(batch, rng)
+        np.testing.assert_allclose(out, batch)
+
+    def test_translate_preserves_content(self, rng):
+        batch = rng.random((2, 1, 6, 6))
+        out = RandomTranslate(max_shift=2)(batch, rng)
+        np.testing.assert_allclose(np.sort(out.ravel()), np.sort(batch.ravel()))
+
+    def test_time_subsample(self, rng):
+        batch = rng.random((2, 8, 2, 4, 4))
+        out = TimeSubsample(stride=2)(batch, rng)
+        assert out.shape == (2, 4, 2, 4, 4)
+
+    def test_time_subsample_ignores_static(self, rng):
+        batch = rng.random((2, 3, 4, 4))
+        assert TimeSubsample(stride=2)(batch, rng).shape == batch.shape
+
+    def test_compose(self, rng):
+        batch = rng.random((2, 1, 4, 4))
+        pipeline = Compose([Normalize(0.0, 1.0), RandomHorizontalFlip(p=1.0)])
+        out = pipeline(batch, rng)
+        np.testing.assert_allclose(out, batch[..., ::-1])

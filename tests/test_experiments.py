@@ -1,0 +1,159 @@
+"""Tests of the experiment harness: scales, reporting, and result containers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import BlockAdjacency
+from repro.core.bayes_opt import OptimizationHistory, OptimizationRecord
+from repro.core.search_space import ArchitectureSpec
+from repro.experiments import (
+    ExperimentScale,
+    Figure1Point,
+    Figure1Result,
+    Figure3Result,
+    SearchCurve,
+    Table1Result,
+    Table1Row,
+    format_figure1,
+    format_figure3,
+    format_series,
+    format_table,
+    format_table1,
+    get_scale,
+)
+from repro.experiments.config import DEFAULT, PAPER, SMOKE, dataset_kwargs, model_kwargs
+from repro.experiments.figure1 import static_splits, temporal_to_static
+from repro.data.loaders import ArrayDataset
+
+
+class TestScales:
+    def test_get_scale_by_name(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("default") is DEFAULT
+        assert get_scale("paper") is PAPER
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale() is SMOKE
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_scales_are_ordered_in_budget(self):
+        assert SMOKE.num_samples_dvs < DEFAULT.num_samples_dvs < PAPER.num_samples_dvs
+        assert SMOKE.snn_epochs <= DEFAULT.snn_epochs <= PAPER.snn_epochs
+        assert SMOKE.bo_iterations <= DEFAULT.bo_iterations <= PAPER.bo_iterations
+
+    def test_with_overrides(self):
+        scale = SMOKE.with_overrides(num_steps=9)
+        assert scale.num_steps == 9 and scale.name == "smoke"
+
+    def test_dataset_kwargs_by_dataset(self):
+        static = dataset_kwargs(SMOKE, "cifar10")
+        assert "num_steps" not in static and static["num_samples"] == SMOKE.num_samples_static
+        dvs = dataset_kwargs(SMOKE, "cifar10-dvs")
+        assert dvs["num_steps"] == SMOKE.num_steps
+        gesture = dataset_kwargs(SMOKE, "dvs128-gesture")
+        assert gesture["num_samples"] == SMOKE.num_samples_gesture
+
+    def test_model_kwargs_by_model(self):
+        single = model_kwargs(SMOKE, "single_block", input_channels=2, num_classes=10)
+        assert single["channels"] == SMOKE.single_block_channels
+        resnet = model_kwargs(SMOKE, "resnet18", input_channels=2, num_classes=10)
+        assert tuple(resnet["stage_channels"]) == tuple(SMOKE.stage_channels)
+
+
+class TestTemporalToStatic:
+    def test_collapses_time_axis(self, tiny_dvs_splits):
+        static = temporal_to_static(tiny_dvs_splits.train)
+        assert static.inputs.shape == (
+            len(tiny_dvs_splits.train),
+            *tiny_dvs_splits.sample_shape[1:],
+        )
+        np.testing.assert_allclose(static.inputs, tiny_dvs_splits.train.inputs.mean(axis=1))
+
+    def test_static_input_passthrough(self, tiny_static_splits):
+        assert temporal_to_static(tiny_static_splits.train) is tiny_static_splits.train
+
+    def test_static_splits_wrapper(self, tiny_dvs_splits):
+        static = static_splits(tiny_dvs_splits)
+        assert not static.is_temporal
+        assert static.num_classes == tiny_dvs_splits.num_classes
+
+
+class TestResultContainers:
+    def _figure1(self):
+        result = Figure1Result(connection_type="asc", dataset_name="toy")
+        for n in range(3):
+            result.points.append(
+                Figure1Point("asc", n, ann_accuracy=0.6, snn_accuracy=0.4 + 0.05 * n, firing_rate=0.1 + 0.02 * n, macs_per_step=1000.0)
+            )
+        return result
+
+    def test_figure1_accessors(self):
+        result = self._figure1()
+        assert result.n_skips() == [0, 1, 2]
+        assert result.snn_accuracies() == [0.4, 0.45, 0.5]
+        assert result.firing_rates()[0] == pytest.approx(0.1)
+        assert result.points[0].accuracy_gap == pytest.approx(0.2)
+
+    def test_search_curve_statistics(self):
+        curve = SearchCurve(method="bo", runs=[[0.1, 0.2, 0.3], [0.2, 0.2, 0.4]])
+        np.testing.assert_allclose(curve.mean(), [0.15, 0.2, 0.35])
+        assert curve.final_mean() == pytest.approx(0.35)
+        assert curve.std().shape == (3,)
+        assert curve.auc() > 0
+
+    def test_search_curve_handles_unequal_lengths(self):
+        curve = SearchCurve(method="bo", runs=[[0.1, 0.2], [0.3]])
+        assert curve.max_length() == 2
+        np.testing.assert_allclose(curve.mean(), [0.2, 0.25])
+
+    def test_figure3_result_comparison(self):
+        result = Figure3Result(dataset_name="toy", model_name="resnet18")
+        result.bo_curve.runs.append([0.2, 0.5])
+        result.rs_curve.runs.append([0.2, 0.4])
+        assert result.bo_beats_rs()
+
+    def test_table1_averages(self):
+        table = Table1Result()
+        table.rows.append(Table1Row("d1", "m1", 0.9, 0.5, 0.7, 0.1, 0.15, 0.2))
+        table.rows.append(Table1Row("d1", "m2", None, 0.4, 0.5, 0.1, 0.12, 0.1))
+        table.rows.append(Table1Row("d2", "m1", None, 0.6, 0.9, 0.1, 0.2, 0.3))
+        assert table.average_improvement("d1") == pytest.approx(0.15)
+        assert table.average_improvement() == pytest.approx(0.2)
+        assert table.datasets() == ["d1", "d2"]
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_format_figure1_contains_rows(self):
+        result = Figure1Result(connection_type="dsc", dataset_name="toy")
+        result.points.append(Figure1Point("dsc", 0, 0.5, 0.4, 0.1, 123.0))
+        text = format_figure1(result)
+        assert "Figure 1 (c)" in text and "123" in text
+
+    def test_format_table1_handles_missing_ann(self):
+        table = Table1Result()
+        table.rows.append(Table1Row("cifar10-dvs", "resnet18", None, 0.4, 0.5, 0.1, 0.12, 0.1))
+        text = format_table1(table)
+        assert "-" in text and "resnet18" in text and "average improvement" in text
+
+    def test_format_series_with_and_without_std(self):
+        assert "±" in format_series("x", [0.1], [0.01])
+        assert "±" not in format_series("x", [0.1])
+
+    def test_format_figure3(self):
+        result = Figure3Result(dataset_name="toy", model_name="m")
+        result.bo_curve.runs.append([0.1, 0.3])
+        result.rs_curve.runs.append([0.1, 0.2])
+        text = format_figure3(result)
+        assert "Our HPO" in text and "random search" in text and "final incumbent" in text

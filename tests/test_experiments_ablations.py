@@ -1,0 +1,56 @@
+"""Smoke tests of the ablation harness at a micro scale.
+
+These verify that every ablation runs end to end, produces one value per
+configuration and records the details the benchmarks print; the quantitative
+comparisons only become meaningful at larger scales (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_acquisition_ablation,
+    run_dsc_vs_asc_energy,
+    run_kernel_ablation,
+    run_weight_sharing_ablation,
+)
+from repro.experiments.config import SMOKE
+
+#: micro scale: even smaller than "smoke" so the four ablations together stay fast
+MICRO = SMOKE.with_overrides(
+    num_samples_dvs=40,
+    image_size=8,
+    num_steps=3,
+    stage_channels=(3, 4),
+    single_block_channels=3,
+    ann_epochs=1,
+    snn_epochs=1,
+    candidate_finetune_epochs=1,
+    bo_iterations=1,
+    bo_initial_points=2,
+)
+
+
+class TestAblationHarness:
+    def test_acquisition_ablation_runs(self):
+        result = run_acquisition_ablation(scale=MICRO, acquisitions=["ucb", "ei"], seed=0)
+        assert set(result.values) == {"ucb", "ei"}
+        assert all(0.0 <= value <= 1.0 for value in result.values.values())
+        assert result.best() in result.values
+        assert set(result.details) == {"ucb", "ei"}
+
+    def test_kernel_ablation_runs(self):
+        result = run_kernel_ablation(scale=MICRO, seed=0)
+        assert set(result.values) == {"hamming", "matern52", "rbf"}
+
+    def test_weight_sharing_ablation_runs(self):
+        result = run_weight_sharing_ablation(scale=MICRO, seed=0)
+        assert set(result.values) == {"shared", "from_scratch"}
+
+    def test_dsc_vs_asc_energy_structure(self):
+        result = run_dsc_vs_asc_energy(scale=MICRO, seed=0)
+        assert set(result.values) == {"dsc", "asc"}
+        dsc, asc = result.details["dsc"], result.details["asc"]
+        # the structural halves of the Section III-A argument hold at any scale
+        assert dsc["macs_per_step"] > asc["macs_per_step"]
+        assert dsc["snn_energy_nj"] >= 0 and asc["snn_energy_nj"] >= 0
+        assert len(dsc["points"]) == 4

@@ -1,0 +1,201 @@
+"""Tests of DAG skip-blocks: wiring semantics, DSC/ASC behaviour, spiking variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import ASC, DSC, NO_CONNECTION, BlockAdjacency
+from repro.models.blocks import (
+    BlockSpec,
+    ClassifierHead,
+    DAGBlock,
+    LayerSpec,
+    NeuronConfig,
+    Stem,
+    TransitionLayer,
+)
+from repro.nn import ReLU
+from repro.snn import LIFNeuron, LeakyIntegrator, TemporalRunner, reset_states
+from repro.tensor import Tensor
+
+
+def _conv_block_spec(depth=4, channels=6, in_channels=3):
+    return BlockSpec(
+        in_channels=in_channels,
+        layers=[LayerSpec("conv3x3", channels) for _ in range(depth)],
+        name="test-block",
+    )
+
+
+class TestLayerSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec("conv5x5", 8)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec("conv3x3", 0)
+
+    def test_depthwise_forbids_dsc_automatically(self):
+        spec = LayerSpec("dwconv3x3", 8, allow_dsc_input=True)
+        assert not spec.allow_dsc_input
+
+
+class TestBlockSpec:
+    def test_node_channels(self):
+        spec = _conv_block_spec(depth=3, channels=6, in_channels=2)
+        assert spec.node_channels() == [2, 6, 6, 6]
+        assert spec.depth == 3
+        assert spec.out_channels == 6
+
+    def test_search_info_restricts_depthwise_destinations(self):
+        spec = BlockSpec(
+            in_channels=4,
+            layers=[LayerSpec("conv1x1", 8), LayerSpec("dwconv3x3", 8), LayerSpec("conv1x1", 4)],
+        )
+        info = spec.search_info()
+        # destination node 2 is the depthwise layer -> DSC not allowed there
+        assert info.allowed_at((0, 2)) == (NO_CONNECTION, ASC)
+        assert info.allowed_at((0, 3)) == (NO_CONNECTION, DSC, ASC)
+
+    def test_validate_adjacency_rejects_dsc_into_depthwise(self):
+        spec = BlockSpec(
+            in_channels=4,
+            layers=[LayerSpec("conv1x1", 8), LayerSpec("dwconv3x3", 8), LayerSpec("conv1x1", 4)],
+        )
+        bad = BlockAdjacency(3).with_connection(0, 2, DSC)
+        with pytest.raises(ValueError):
+            spec.validate_adjacency(bad)
+        ok = BlockAdjacency(3).with_connection(0, 2, ASC)
+        spec.validate_adjacency(ok)  # does not raise
+
+    def test_validate_adjacency_depth_mismatch(self):
+        with pytest.raises(ValueError):
+            _conv_block_spec(depth=3).validate_adjacency(BlockAdjacency(4))
+
+
+class TestDAGBlockConstruction:
+    def test_no_skip_input_channels(self):
+        block = DAGBlock(_conv_block_spec(depth=3, channels=6, in_channels=2), rng=0)
+        assert block.layer_input_channels() == [2, 6, 6]
+
+    def test_dsc_grows_destination_input(self):
+        adjacency = BlockAdjacency(3).with_connection(0, 3, DSC).with_connection(1, 3, DSC)
+        block = DAGBlock(_conv_block_spec(depth=3, channels=6, in_channels=2), adjacency, rng=0)
+        # layer 2 receives sequential 6 + DSC(block input 2) + DSC(layer0 output 6)
+        assert block.layer_input_channels() == [2, 6, 14]
+
+    def test_asc_does_not_grow_input(self):
+        adjacency = BlockAdjacency(3).with_connection(0, 3, ASC).with_connection(1, 3, ASC)
+        block = DAGBlock(_conv_block_spec(depth=3, channels=6, in_channels=2), adjacency, rng=0)
+        assert block.layer_input_channels() == [2, 6, 6]
+
+    def test_asc_channel_mismatch_gets_projection(self):
+        adjacency = BlockAdjacency(3).with_connection(0, 2, ASC)  # block input (2ch) into layer 1 (6ch seq)
+        block = DAGBlock(_conv_block_spec(depth=3, channels=6, in_channels=2), adjacency, rng=0)
+        assert len(block.projections) == 1
+        assert block.projections[0].in_channels == 2 and block.projections[0].out_channels == 6
+
+    def test_asc_matched_channels_needs_no_projection(self):
+        adjacency = BlockAdjacency(3).with_connection(1, 3, ASC)  # 6ch into 6ch
+        block = DAGBlock(_conv_block_spec(depth=3, channels=6, in_channels=2), adjacency, rng=0)
+        assert len(block.projections) == 0
+
+    def test_spiking_block_uses_lif_neurons(self):
+        block = DAGBlock(_conv_block_spec(), spiking=True, rng=0)
+        assert sum(1 for m in block.modules() if isinstance(m, LIFNeuron)) == 4
+        assert not any(isinstance(m, ReLU) for m in block.modules())
+
+    def test_ann_block_uses_relu(self):
+        block = DAGBlock(_conv_block_spec(), spiking=False, rng=0)
+        assert not any(isinstance(m, LIFNeuron) for m in block.modules())
+        assert sum(1 for m in block.modules() if isinstance(m, ReLU)) == 4
+
+    def test_incompatible_adjacency_rejected(self):
+        spec = BlockSpec(in_channels=4, layers=[LayerSpec("conv1x1", 8), LayerSpec("dwconv3x3", 8), LayerSpec("conv1x1", 4)])
+        with pytest.raises(ValueError):
+            DAGBlock(spec, BlockAdjacency(3).with_connection(0, 2, DSC), rng=0)
+
+
+class TestDAGBlockForward:
+    def test_output_shape_preserved(self, rng):
+        block = DAGBlock(_conv_block_spec(depth=4, channels=6, in_channels=3), rng=0)
+        out = block(Tensor(rng.random((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    @pytest.mark.parametrize("code", [DSC, ASC])
+    def test_output_shape_with_skips(self, rng, code):
+        adjacency = BlockAdjacency.with_final_layer_skips(4, 3, code)
+        block = DAGBlock(_conv_block_spec(depth=4, channels=6, in_channels=3), adjacency, rng=0)
+        out = block(Tensor(rng.random((2, 3, 8, 8))))
+        assert out.shape == (2, 6, 8, 8)
+
+    def test_asc_skip_changes_output(self, rng):
+        """Adding an ASC connection must change the function (same weights otherwise)."""
+        spec = _conv_block_spec(depth=3, channels=6, in_channels=6)
+        x = Tensor(rng.random((1, 6, 6, 6)))
+        plain = DAGBlock(spec, BlockAdjacency(3), rng=7)
+        skipped = DAGBlock(spec, BlockAdjacency(3).with_connection(0, 3, ASC), rng=7)
+        skipped.load_state_dict(plain.state_dict(), strict=False)
+        assert not np.allclose(plain(x).data, skipped(x).data)
+
+    def test_gradients_flow_through_skip_paths(self, rng):
+        adjacency = BlockAdjacency(4).with_connection(0, 4, DSC).with_connection(1, 3, ASC)
+        block = DAGBlock(_conv_block_spec(depth=4, channels=4, in_channels=2), adjacency, rng=0)
+        x = Tensor(rng.random((1, 2, 6, 6)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        for param in block.parameters():
+            assert param.grad is not None
+
+    def test_spiking_block_emits_binary_spikes(self, rng):
+        block = DAGBlock(_conv_block_spec(depth=2, channels=4, in_channels=2), spiking=True, rng=0)
+        reset_states(block)
+        out = block(Tensor(rng.random((1, 2, 5, 5)) * 2.0))
+        assert set(np.unique(out.data)).issubset({0.0, 1.0})
+
+    def test_weight_sharing_across_adjacencies(self):
+        """Layers whose shapes do not change must transfer verbatim between variants."""
+        spec = _conv_block_spec(depth=3, channels=6, in_channels=6)
+        plain = DAGBlock(spec, BlockAdjacency(3), rng=0)
+        dsc = DAGBlock(spec, BlockAdjacency(3).with_connection(0, 3, DSC), rng=1)
+        skipped = dsc.load_state_dict(plain.state_dict(), strict=False)
+        # the concatenation grows layer 2's conv, which must be among the skipped keys
+        assert any("layers.2.conv.weight" in key for key in skipped)
+        np.testing.assert_allclose(dsc.layers[0].conv.weight.data, plain.layers[0].conv.weight.data)
+
+
+class TestAuxiliaryModules:
+    def test_stem_shapes(self, rng):
+        stem = Stem(2, 8, rng=0)
+        assert stem(Tensor(rng.random((2, 2, 8, 8)))).shape == (2, 8, 8, 8)
+
+    def test_transition_halves_resolution(self, rng):
+        transition = TransitionLayer(8, 12, rng=0)
+        assert transition(Tensor(rng.random((2, 8, 8, 8)))).shape == (2, 12, 4, 4)
+
+    def test_classifier_head_ann(self, rng):
+        head = ClassifierHead(8, 5, spiking=False, rng=0)
+        assert head(Tensor(rng.random((3, 8, 4, 4)))).shape == (3, 5)
+        assert head.readout is None
+
+    def test_classifier_head_snn_accumulates(self, rng):
+        head = ClassifierHead(8, 5, spiking=True, rng=0)
+        x = Tensor(rng.random((2, 8, 4, 4)))
+        first = head(x).data.copy()
+        second = head(x).data
+        assert isinstance(head.readout, LeakyIntegrator)
+        assert not np.allclose(first, second)  # integrates across calls until reset
+
+    def test_neuron_config_factories(self):
+        config = NeuronConfig(beta=0.7, threshold=1.2, reset_mechanism="zero", readout_beta=0.8)
+        neuron = config.make_neuron()
+        assert neuron.beta == 0.7 and neuron.threshold == 1.2 and neuron.reset_mechanism == "zero"
+        assert config.make_readout().beta == 0.8
+
+    def test_spiking_stem_and_transition(self, rng):
+        stem = Stem(2, 4, spiking=True, rng=0)
+        transition = TransitionLayer(4, 4, spiking=True, rng=0)
+        reset_states(stem)
+        reset_states(transition)
+        out = transition(stem(Tensor(rng.random((1, 2, 8, 8)))))
+        assert out.shape == (1, 4, 4, 4)

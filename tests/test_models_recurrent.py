@@ -1,0 +1,215 @@
+"""Tests of backward (recurrent) skip connections — the future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import ASC, DSC, NO_CONNECTION, BlockAdjacency
+from repro.models.blocks import BlockSpec, LayerSpec
+from repro.models.recurrent import (
+    BackwardConnection,
+    BackwardSearchSpace,
+    RecurrentDAGBlock,
+    enumerate_backward_positions,
+    extend_search_space_with_backward,
+)
+from repro.models import build_single_block_template
+from repro.snn import reset_states
+from repro.snn.temporal import detach_states
+from repro.tensor import Tensor
+
+
+def _spec(depth=3, channels=4, in_channels=2):
+    return BlockSpec(
+        in_channels=in_channels,
+        layers=[LayerSpec("conv3x3", channels) for _ in range(depth)],
+        name="recurrent-test",
+    )
+
+
+class TestBackwardConnection:
+    def test_validation(self):
+        BackwardConnection(source_node=3, destination_layer=0, code=ASC)  # ok
+        with pytest.raises(ValueError):
+            BackwardConnection(source_node=0, destination_layer=0, code=ASC)
+        with pytest.raises(ValueError):
+            BackwardConnection(source_node=1, destination_layer=2, code=ASC)  # forward direction
+        with pytest.raises(ValueError):
+            BackwardConnection(source_node=3, destination_layer=0, code=NO_CONNECTION)
+
+    def test_enumerate_positions(self):
+        positions = enumerate_backward_positions(3)
+        # layer 0 can receive from nodes 1..3, layer 1 from 2..3, layer 2 from 3
+        assert len(positions) == 6
+        assert (3, 0) in positions and (3, 2) in positions
+        assert (1, 1) not in positions
+
+
+class TestRecurrentDAGBlock:
+    def test_builds_and_runs_with_asc_backward(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(),
+            backward_connections=[BackwardConnection(3, 0, ASC)],
+            spiking=True,
+            rng=0,
+        )
+        reset_states(block)
+        x = Tensor(rng.random((2, 2, 6, 6)))
+        out1 = block(x)
+        out2 = block(x)
+        assert out1.shape == out2.shape == (2, 4, 6, 6)
+
+    def test_first_step_matches_nonrecurrent_block(self, rng):
+        """With zero delayed input, step 1 must equal the plain DAGBlock output."""
+        from repro.models.blocks import DAGBlock
+
+        spec = _spec()
+        plain = DAGBlock(spec, BlockAdjacency(3), spiking=False, rng=5)
+        recurrent = RecurrentDAGBlock(
+            spec, backward_connections=[BackwardConnection(3, 0, ASC)], spiking=False, rng=5
+        )
+        recurrent.load_state_dict(plain.state_dict(), strict=False)
+        recurrent.reset_state()
+        x = Tensor(rng.random((1, 2, 5, 5)))
+        np.testing.assert_allclose(recurrent(x).data, plain(x).data)
+
+    def test_second_step_differs_because_of_feedback(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(), backward_connections=[BackwardConnection(3, 0, ASC)], spiking=False, rng=0
+        )
+        block.reset_state()
+        x = Tensor(rng.random((1, 2, 5, 5)))
+        first = block(x).data.copy()
+        second = block(x).data
+        assert not np.allclose(first, second)
+
+    def test_reset_state_restores_first_step_behaviour(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(), backward_connections=[BackwardConnection(3, 0, ASC)], spiking=False, rng=0
+        )
+        x = Tensor(rng.random((1, 2, 5, 5)))
+        block.reset_state()
+        first = block(x).data.copy()
+        block(x)
+        block.reset_state()
+        again = block(x).data
+        np.testing.assert_allclose(first, again)
+
+    def test_dsc_backward_grows_layer_input(self):
+        block = RecurrentDAGBlock(
+            _spec(depth=3, channels=4, in_channels=2),
+            backward_connections=[BackwardConnection(3, 0, DSC)],
+            spiking=False,
+            rng=0,
+        )
+        # layer 0 input: block input (2) + delayed block output (4)
+        assert block.layer_input_channels()[0] == 6
+
+    def test_dsc_backward_runs_over_multiple_steps(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(), backward_connections=[BackwardConnection(2, 0, DSC)], spiking=True, rng=0
+        )
+        reset_states(block)
+        x = Tensor(rng.random((1, 2, 5, 5)))
+        for _ in range(3):
+            out = block(x)
+        assert out.shape == (1, 4, 5, 5)
+
+    def test_projection_created_for_channel_mismatch(self):
+        block = RecurrentDAGBlock(
+            _spec(depth=3, channels=4, in_channels=2),
+            backward_connections=[BackwardConnection(1, 0, ASC)],  # 4ch output added to 2ch input
+            rng=0,
+        )
+        assert len(block.backward_projections) == 1
+
+    def test_invalid_connections_rejected(self):
+        with pytest.raises(ValueError):
+            RecurrentDAGBlock(_spec(depth=3), backward_connections=[BackwardConnection(5, 0, ASC)], rng=0)
+        dw_spec = BlockSpec(
+            in_channels=4,
+            layers=[LayerSpec("conv1x1", 4), LayerSpec("dwconv3x3", 4), LayerSpec("conv1x1", 4)],
+        )
+        with pytest.raises(ValueError):
+            RecurrentDAGBlock(dw_spec, backward_connections=[BackwardConnection(3, 1, DSC)], rng=0)
+
+    def test_bptt_gradient_flows_through_feedback(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(), backward_connections=[BackwardConnection(3, 0, ASC)], spiking=False, rng=0
+        )
+        block.reset_state()
+        x0 = Tensor(rng.random((1, 2, 5, 5)), requires_grad=True)
+        block(x0)
+        out = block(Tensor(rng.random((1, 2, 5, 5))))
+        out.sum().backward()
+        # the first input influences the second output only through the feedback path
+        assert x0.grad is not None and np.abs(x0.grad).sum() > 0
+
+    def test_detach_state_cuts_feedback_graph(self, rng):
+        block = RecurrentDAGBlock(
+            _spec(), backward_connections=[BackwardConnection(3, 0, ASC)], spiking=False, rng=0
+        )
+        block.reset_state()
+        x0 = Tensor(rng.random((1, 2, 5, 5)), requires_grad=True)
+        block(x0)
+        detach_states(block)
+        out = block(Tensor(rng.random((1, 2, 5, 5))))
+        out.sum().backward()
+        assert x0.grad is None or np.abs(x0.grad).sum() == 0
+
+
+class TestBackwardSearchSpace:
+    def test_dimensions(self):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        forward_space = template.search_space()
+        joint = extend_search_space_with_backward(forward_space)
+        assert isinstance(joint, BackwardSearchSpace)
+        assert joint.encoding_length() == forward_space.encoding_length() + 6
+        assert joint.size() == forward_space.size() * 2 ** 6  # ASC-or-none per backward position
+
+    def test_encode_decode_roundtrip(self):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        joint = extend_search_space_with_backward(template.search_space())
+        forward_spec, backward = joint.sample(rng=3)
+        encoding = joint.encode(forward_spec, backward)
+        decoded_forward, decoded_backward = joint.decode(encoding)
+        assert decoded_forward == forward_spec
+        assert [
+            {(c.source_node, c.destination_layer, c.code) for c in block} for block in decoded_backward
+        ] == [{(c.source_node, c.destination_layer, c.code) for c in block} for block in backward]
+
+    def test_default_has_no_backward_connections(self):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        joint = extend_search_space_with_backward(template.search_space())
+        forward_spec, backward = joint.default()
+        assert forward_spec.total_skips() == 0
+        assert all(not block for block in backward)
+
+    def test_allowed_codes_validated(self):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        with pytest.raises(ValueError):
+            BackwardSearchSpace(template.search_space(), allowed_codes=(7,))
+
+    def test_decode_rejects_bad_length_and_codes(self):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        joint = extend_search_space_with_backward(template.search_space())
+        with pytest.raises(ValueError):
+            joint.decode(np.zeros(3))
+        bad = np.zeros(joint.encoding_length(), dtype=int)
+        bad[-1] = DSC  # DSC not allowed for backward positions by default
+        with pytest.raises(ValueError):
+            joint.decode(bad)
+
+    def test_sampled_configurations_build_runnable_blocks(self, rng):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4, depth=3)
+        joint = extend_search_space_with_backward(template.search_space())
+        forward_spec, backward = joint.sample(rng=1)
+        block = RecurrentDAGBlock(
+            template.block_specs[0],
+            adjacency=forward_spec.blocks[0],
+            backward_connections=backward[0],
+            spiking=True,
+            rng=0,
+        )
+        reset_states(block)
+        out = block(Tensor(rng.random((1, 4, 6, 6))))
+        assert out.shape[1] == template.block_specs[0].out_channels

@@ -1,0 +1,199 @@
+"""Tests of the network templates (ResNet/DenseNet/MobileNet/single-block)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import ASC, DSC, BlockAdjacency
+from repro.core.search_space import ArchitectureSpec
+from repro.models import (
+    build_densenet121_template,
+    build_mobilenetv2_template,
+    build_resnet18_template,
+    build_single_block_template,
+    available_models,
+    get_template,
+    single_block_sweep_spec,
+)
+from repro.models.blocks import BlockSpec, LayerSpec
+from repro.models.template import NetworkTemplate
+from repro.snn import LIFNeuron, TemporalRunner
+from repro.tensor import Tensor
+
+ALL_BUILDERS = {
+    "resnet18": build_resnet18_template,
+    "densenet121": build_densenet121_template,
+    "mobilenetv2": build_mobilenetv2_template,
+    "single_block": build_single_block_template,
+}
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == set(ALL_BUILDERS)
+
+    def test_aliases(self):
+        assert get_template("resnet", input_channels=2, num_classes=3).name == "resnet18"
+        assert get_template("MobileNet-V2", input_channels=2, num_classes=3).name == "mobilenetv2"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_template("vgg16")
+
+
+class TestTemplateValidation:
+    def test_channel_flow_mismatch_rejected(self):
+        blocks = [BlockSpec(in_channels=8, layers=[LayerSpec("conv3x3", 8)])]
+        with pytest.raises(ValueError):
+            NetworkTemplate(
+                name="bad",
+                input_channels=2,
+                num_classes=3,
+                stem_channels=4,  # stem produces 4 but the block expects 8
+                block_specs=blocks,
+                transition_channels=[None],
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        blocks = [BlockSpec(in_channels=4, layers=[LayerSpec("conv3x3", 4)])]
+        with pytest.raises(ValueError):
+            NetworkTemplate(
+                name="bad",
+                input_channels=2,
+                num_classes=3,
+                stem_channels=4,
+                block_specs=blocks,
+                transition_channels=[],
+            )
+
+    def test_incompatible_architecture_rejected_at_build(self):
+        template = build_resnet18_template(input_channels=2, num_classes=3, stage_channels=(4, 4))
+        wrong = ArchitectureSpec([BlockAdjacency(4)])  # only one block
+        with pytest.raises(ValueError):
+            template.build(wrong)
+
+
+class TestDefaultWiring:
+    def test_resnet_default_is_addition_shortcuts(self):
+        template = build_resnet18_template(input_channels=2, num_classes=4)
+        default = template.default_architecture()
+        for block in default.blocks:
+            counts = block.count_by_type()
+            assert counts[ASC] >= 1 and counts[DSC] == 0
+
+    def test_densenet_default_is_full_concatenation(self):
+        template = build_densenet121_template(input_channels=2, num_classes=4, layers_per_stage=4)
+        default = template.default_architecture()
+        for block in default.blocks:
+            assert block.total_skips() == block.max_skips()
+            assert block.count_by_type()[ASC] == 0
+
+    def test_mobilenet_default_is_single_residual(self):
+        template = build_mobilenetv2_template(input_channels=2, num_classes=4)
+        default = template.default_architecture()
+        for block in default.blocks:
+            assert block.total_skips() == 1
+            assert block.count_by_type()[ASC] == 1
+
+    def test_single_block_default_has_no_skips(self):
+        template = build_single_block_template(input_channels=2, num_classes=4)
+        assert template.default_architecture().total_skips() == 0
+
+
+class TestSearchSpaces:
+    def test_mobilenet_search_space_excludes_dsc_into_depthwise(self):
+        template = build_mobilenetv2_template(input_channels=2, num_classes=4)
+        space = template.search_space()
+        # every admissible sample must avoid DSC into the depthwise layer (destination node 2)
+        for seed in range(10):
+            spec = space.sample(rng=seed)
+            for block in spec.blocks:
+                assert block.matrix[0, 2] != DSC
+
+    def test_space_sizes_are_consistent(self):
+        for name, builder in ALL_BUILDERS.items():
+            template = builder(input_channels=2, num_classes=4)
+            space = template.search_space()
+            assert space.size() >= 3
+            assert space.encoding_length() == sum(len(i.positions()) for i in space.block_infos)
+
+    def test_default_architecture_is_in_search_space(self):
+        for builder in ALL_BUILDERS.values():
+            template = builder(input_channels=2, num_classes=4)
+            assert template.search_space().contains(template.default_architecture())
+
+
+class TestBuiltNetworks:
+    @pytest.mark.parametrize("name", sorted(ALL_BUILDERS))
+    def test_ann_forward_shape(self, rng, name):
+        template = get_template(name, input_channels=2, num_classes=5)
+        model = template.build(spiking=False, rng=0)
+        out = model(Tensor(rng.random((2, 2, 8, 8))))
+        assert out.shape == (2, 5)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BUILDERS))
+    def test_snn_forward_shape(self, rng, name):
+        template = get_template(name, input_channels=2, num_classes=5)
+        model = template.build(spiking=True, rng=0)
+        out = TemporalRunner(model, num_steps=3)(rng.random((2, 2, 8, 8)))
+        assert out.shape == (2, 5)
+        assert any(isinstance(m, LIFNeuron) for m in model.modules())
+
+    def test_width_multiplier_scales_parameters(self):
+        narrow = build_resnet18_template(input_channels=2, num_classes=4, width_multiplier=0.5).build(rng=0)
+        wide = build_resnet18_template(input_channels=2, num_classes=4, width_multiplier=1.0).build(rng=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_architecture_spec_recoverable_from_network(self):
+        template = build_resnet18_template(input_channels=2, num_classes=4)
+        spec = template.search_space().sample(rng=3)
+        model = template.build(spec, rng=0)
+        assert model.architecture_spec() == spec
+
+    def test_same_seed_same_weights(self):
+        template = build_resnet18_template(input_channels=2, num_classes=4)
+        a = template.build(rng=5)
+        b = template.build(rng=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_rgb_input_supported(self, rng):
+        template = build_resnet18_template(input_channels=3, num_classes=10)
+        model = template.build(rng=0)
+        assert model(Tensor(rng.random((1, 3, 8, 8)))).shape == (1, 10)
+
+    def test_densenet_skip_variant_builds_and_runs(self, rng):
+        template = build_densenet121_template(input_channels=2, num_classes=4, stage_channels=(4, 6))
+        spec = template.search_space().sample(rng=9)
+        model = template.build(spec, spiking=True, rng=0)
+        out = TemporalRunner(model, num_steps=2)(rng.random((1, 2, 8, 8)))
+        assert out.shape == (1, 4)
+
+
+class TestSingleBlockSweep:
+    def test_sweep_spec_nskip_counts(self):
+        for n in range(4):
+            spec = single_block_sweep_spec(n, "dsc")
+            assert spec.blocks[0].num_skips_per_layer() == [0, 0, 0, n]
+            assert spec.blocks[0].count_by_type()[DSC] == n
+
+    def test_sweep_spec_asc(self):
+        spec = single_block_sweep_spec(2, "asc")
+        assert spec.blocks[0].count_by_type()[ASC] == 2
+
+    def test_sweep_spec_aliases_and_validation(self):
+        assert single_block_sweep_spec(1, "densenet").blocks[0].count_by_type()[DSC] == 1
+        assert single_block_sweep_spec(1, "addition").blocks[0].count_by_type()[ASC] == 1
+        with pytest.raises(ValueError):
+            single_block_sweep_spec(1, "bogus")
+
+    def test_sweep_spec_clamps_large_nskip(self):
+        spec = single_block_sweep_spec(99, "asc")
+        assert spec.blocks[0].total_skips() == 3
+
+    def test_sweep_specs_build_and_run(self, rng):
+        template = build_single_block_template(input_channels=2, num_classes=4, channels=4)
+        for n in (0, 3):
+            for kind in ("dsc", "asc"):
+                model = template.build(single_block_sweep_spec(n, kind), spiking=True, rng=0)
+                out = TemporalRunner(model, num_steps=2)(rng.random((1, 2, 6, 6)))
+                assert out.shape == (1, 4)

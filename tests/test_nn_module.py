@@ -1,0 +1,148 @@
+"""Tests of the Module/Parameter registry, state_dict and containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, ModuleList, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(4, 3, rng=np.random.default_rng(0))
+        self.weight_scale = Parameter(np.ones(1), name="weight_scale")
+        self.register_buffer("counter", np.zeros(1))
+
+    def forward(self, x):
+        return self.linear(x) * self.weight_scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        module = ToyModule()
+        names = dict(module.named_parameters())
+        assert set(names) == {"linear.weight", "linear.bias", "weight_scale"}
+
+    def test_num_parameters(self):
+        module = ToyModule()
+        assert module.num_parameters() == 4 * 3 + 3 + 1
+
+    def test_named_modules_includes_children(self):
+        module = ToyModule()
+        names = [name for name, _ in module.named_modules()]
+        assert "" in names and "linear" in names
+
+    def test_children(self):
+        module = ToyModule()
+        assert len(module.children()) == 1
+
+    def test_buffers_registered(self):
+        module = ToyModule()
+        buffers = dict(module.named_buffers())
+        assert "counter" in buffers
+
+    def test_update_buffer(self):
+        module = ToyModule()
+        module.update_buffer("counter", np.array([5.0]))
+        assert module.counter[0] == 5.0
+
+    def test_update_unknown_buffer_raises(self):
+        module = ToyModule()
+        with pytest.raises(KeyError):
+            module.update_buffer("nope", np.zeros(1))
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = ToyModule()
+        target = ToyModule()
+        # make them differ
+        for param in source.parameters():
+            param.data += 1.0
+        state = source.state_dict()
+        target.load_state_dict(state)
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_copies_data(self):
+        module = ToyModule()
+        state = module.state_dict()
+        state["weight_scale"][...] = 99.0
+        assert module.weight_scale.data[0] == 1.0
+
+    def test_strict_load_with_unknown_key_raises(self):
+        module = ToyModule()
+        state = module.state_dict()
+        state["ghost"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            module.load_state_dict(state, strict=True)
+
+    def test_non_strict_load_reports_skipped(self):
+        module = ToyModule()
+        state = module.state_dict()
+        state["ghost"] = np.zeros(3)
+        state["linear.weight"] = np.zeros((7, 7))  # wrong shape
+        skipped = module.load_state_dict(state, strict=False)
+        assert "ghost" in skipped and "linear.weight" in skipped
+
+    def test_buffers_in_state_dict(self):
+        module = ToyModule()
+        module.update_buffer("counter", np.array([3.0]))
+        other = ToyModule()
+        other.load_state_dict(module.state_dict())
+        assert other.counter[0] == 3.0
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), ReLU(), Linear(2, 2))
+        seq.eval()
+        assert all(not module.training for module in seq.modules())
+        seq.train()
+        assert all(module.training for module in seq.modules())
+
+    def test_zero_grad_clears_all(self):
+        module = ToyModule()
+        out = module(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None and p.grad.any() for p in module.parameters())
+        module.zero_grad()
+        assert all(p.grad is None or not p.grad.any() for p in module.parameters())
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        seq = Sequential(Linear(3, 5, rng=np.random.default_rng(0)), ReLU(), Linear(5, 2, rng=np.random.default_rng(1)))
+        out = seq(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_sequential_append_and_index(self):
+        seq = Sequential(Linear(2, 2))
+        seq.append(ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_registers_parameters(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        assert len(seq.parameters()) == 4
+
+    def test_module_list_iteration(self):
+        items = ModuleList([Linear(2, 2), Linear(2, 3)])
+        assert len(items) == 2
+        assert [m.out_features for m in items] == [2, 3]
+
+    def test_module_list_cannot_be_called(self):
+        items = ModuleList([Linear(2, 2)])
+        with pytest.raises(RuntimeError):
+            items(Tensor(np.ones((1, 2))))
+
+    def test_module_list_parameters_registered(self):
+        items = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(items.parameters()) == 4
+
+    def test_repr_contains_children(self):
+        seq = Sequential(Linear(2, 2), ReLU())
+        text = repr(seq)
+        assert "Linear" in text and "ReLU" in text

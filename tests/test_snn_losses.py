@@ -1,0 +1,101 @@
+"""Tests of the spike-based loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    FiringRateRegularizer,
+    SpikeCountCrossEntropy,
+    SpikeCountMSE,
+    SpikeRateCrossEntropy,
+)
+from repro.snn.metrics import SpikeStatistics
+from repro.tensor import Tensor
+
+
+def _per_step_outputs(counts: np.ndarray, num_steps: int):
+    """Build per-step spike tensors whose sum equals ``counts``."""
+    outputs = []
+    remaining = counts.copy().astype(float)
+    for _ in range(num_steps):
+        step = np.minimum(remaining, 1.0)
+        outputs.append(Tensor(step, requires_grad=True))
+        remaining -= step
+    return outputs
+
+
+class TestSpikeCountCrossEntropy:
+    def test_correct_class_with_most_spikes_gives_low_loss(self):
+        counts = np.array([[8.0, 0.0, 1.0], [0.0, 9.0, 0.0]])
+        loss = SpikeCountCrossEntropy()(Tensor(counts, requires_grad=True), np.array([0, 1]))
+        assert loss.item() < 0.1
+
+    def test_accepts_per_step_list(self):
+        counts = np.array([[3.0, 0.0], [0.0, 3.0]])
+        outputs = _per_step_outputs(counts, num_steps=4)
+        loss = SpikeCountCrossEntropy()(outputs, np.array([0, 1]))
+        assert np.isfinite(loss.item())
+
+    def test_gradient_flows_to_steps(self):
+        outputs = _per_step_outputs(np.array([[2.0, 1.0]]), num_steps=3)
+        loss = SpikeCountCrossEntropy()(outputs, np.array([0]))
+        loss.backward()
+        assert outputs[0].grad is not None
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeCountCrossEntropy()([], np.array([0]))
+
+
+class TestSpikeRateCrossEntropy:
+    def test_equivalent_to_count_loss_up_to_temperature(self):
+        counts = Tensor(np.array([[4.0, 0.0], [0.0, 4.0]]))
+        targets = np.array([0, 1])
+        rate_loss = SpikeRateCrossEntropy(num_steps=4)(counts, targets)
+        count_loss = SpikeCountCrossEntropy()(counts, targets)
+        # dividing by num_steps softens the logits, so the rate loss is larger here
+        assert rate_loss.item() > count_loss.item()
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            SpikeRateCrossEntropy(num_steps=0)
+
+
+class TestSpikeCountMSE:
+    def test_zero_loss_at_exact_targets(self):
+        loss_fn = SpikeCountMSE(num_steps=10, correct_rate=0.8, incorrect_rate=0.1)
+        counts = np.array([[8.0, 1.0], [1.0, 8.0]])
+        loss = loss_fn(Tensor(counts, requires_grad=True), np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_penalises_wrong_counts(self):
+        loss_fn = SpikeCountMSE(num_steps=10)
+        good = loss_fn(Tensor(np.array([[8.0, 1.0]])), np.array([0])).item()
+        bad = loss_fn(Tensor(np.array([[1.0, 8.0]])), np.array([0])).item()
+        assert bad > good
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            SpikeCountMSE(num_steps=5, correct_rate=0.2, incorrect_rate=0.5)
+
+
+class TestFiringRateRegularizer:
+    def test_zero_at_target(self):
+        assert FiringRateRegularizer(target_rate=0.1)(0.1) == pytest.approx(0.0)
+
+    def test_quadratic_away_from_target(self):
+        reg = FiringRateRegularizer(target_rate=0.1, weight=2.0)
+        assert reg(0.3) == pytest.approx(2.0 * 0.04)
+        # symmetric around the target
+        assert reg(0.3) == pytest.approx(reg(-0.1))
+
+    def test_accepts_statistics(self):
+        stats = SpikeStatistics(per_layer_rate={"a": 0.2, "b": 0.4}, per_layer_spikes={}, num_steps=4)
+        reg = FiringRateRegularizer(target_rate=0.3, weight=1.0)
+        assert reg(stats) == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FiringRateRegularizer(target_rate=1.5)
+        with pytest.raises(ValueError):
+            FiringRateRegularizer(weight=-1.0)

@@ -1,0 +1,114 @@
+"""Tests of the additional neuron models: adaptive-threshold and synaptic LIF."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, GlobalAvgPool2d, Linear, Sequential
+from repro.snn import ALIFNeuron, LeakyIntegrator, SynapticNeuron, TemporalRunner
+from repro.tensor import Tensor
+
+
+class TestALIFNeuron:
+    def test_matches_lif_when_adaptation_zero(self):
+        from repro.snn import LIFNeuron
+
+        alif = ALIFNeuron(beta=0.9, adaptation=0.0)
+        lif = LIFNeuron(beta=0.9)
+        alif.reset_state()
+        lif.reset_state()
+        rng = np.random.default_rng(0)
+        for _ in range(6):
+            x = Tensor(rng.random((1, 4)) * 1.5)
+            np.testing.assert_allclose(alif(x).data, lif(x).data)
+
+    def test_adaptation_reduces_firing_under_constant_drive(self):
+        constant = Tensor(np.full((1, 8), 1.2))
+        plain = ALIFNeuron(beta=1.0, adaptation=0.0, reset_mechanism="subtract")
+        adaptive = ALIFNeuron(beta=1.0, adaptation=1.0, adaptation_decay=0.95, reset_mechanism="subtract")
+        for neuron in (plain, adaptive):
+            neuron.record_spikes = True
+            neuron.reset_state()
+            for _ in range(12):
+                neuron(constant)
+        assert adaptive.firing_rate() <= plain.firing_rate()
+
+    def test_reset_clears_adaptation(self):
+        neuron = ALIFNeuron(adaptation=0.5)
+        neuron(Tensor(np.array([2.0])))
+        neuron(Tensor(np.array([2.0])))
+        neuron.reset_state()
+        assert neuron._adaptive_component is None and neuron.membrane is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ALIFNeuron(beta=0.0)
+        with pytest.raises(ValueError):
+            ALIFNeuron(adaptation=-0.1)
+        with pytest.raises(ValueError):
+            ALIFNeuron(adaptation_decay=1.0)
+
+    def test_gradients_flow(self):
+        neuron = ALIFNeuron(beta=0.9, adaptation=0.3)
+        neuron.reset_state()
+        x = Tensor(np.array([0.8, 1.4]), requires_grad=True)
+        neuron(x)
+        out = neuron(Tensor(np.array([0.8, 1.4])))
+        out.sum().backward()
+        assert x.grad is not None
+
+
+class TestSynapticNeuron:
+    def test_current_low_pass_filters_input(self):
+        neuron = SynapticNeuron(alpha=0.5, beta=1.0, threshold=100.0)
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.0])))
+        neuron(Tensor(np.array([0.0])))
+        # current after two steps: 1.0 then 0.5; membrane integrates 1.0 + 0.5
+        assert neuron.current.data[0] == pytest.approx(0.5)
+        assert neuron.membrane.data[0] == pytest.approx(1.5)
+
+    def test_spikes_eventually_under_weak_drive(self):
+        neuron = SynapticNeuron(alpha=0.9, beta=0.95, threshold=1.0)
+        neuron.reset_state()
+        fired = False
+        for _ in range(20):
+            fired = fired or bool(neuron(Tensor(np.array([0.3]))).data[0])
+        assert fired
+
+    def test_reset_and_detach(self):
+        neuron = SynapticNeuron()
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        neuron(x)
+        neuron.detach_state()
+        assert not neuron.current.requires_grad and not neuron.membrane.requires_grad
+        neuron.reset_state()
+        assert neuron.current is None and neuron.membrane is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SynapticNeuron(alpha=0.0)
+        with pytest.raises(ValueError):
+            SynapticNeuron(beta=1.5)
+
+    def test_trains_inside_a_network(self, two_class_splits):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Conv2d(1, 4, 3, padding=1, rng=rng),
+            SynapticNeuron(alpha=0.7, beta=0.9),
+            GlobalAvgPool2d(),
+            Linear(4, 2, rng=rng),
+            LeakyIntegrator(beta=0.9),
+        )
+        from repro.nn import Adam, CrossEntropyLoss
+        from repro.nn.losses import accuracy
+
+        runner = TemporalRunner(model, num_steps=4)
+        loss_fn = CrossEntropyLoss()
+        optimizer = Adam(model.parameters(), lr=0.05)
+        inputs, labels = two_class_splits.train[np.arange(len(two_class_splits.train))]
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss = loss_fn(runner(inputs), labels)
+            loss.backward()
+            optimizer.step()
+        assert accuracy(runner(inputs), labels) >= 0.7

@@ -1,0 +1,214 @@
+"""Tests of the spiking neuron dynamics and surrogate gradients."""
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    ATanSurrogate,
+    FastSigmoidSurrogate,
+    IFNeuron,
+    LeakyIntegrator,
+    LIFNeuron,
+    StraightThroughSurrogate,
+    TriangularSurrogate,
+    get_surrogate,
+    spike_function,
+)
+from repro.tensor import Tensor
+
+
+class TestSurrogates:
+    def test_fast_sigmoid_peak_at_threshold(self):
+        surrogate = FastSigmoidSurrogate(slope=25.0)
+        values = surrogate.derivative(np.array([-1.0, 0.0, 1.0]))
+        assert values[1] == pytest.approx(1.0)
+        assert values[0] < values[1] and values[2] < values[1]
+
+    def test_fast_sigmoid_symmetric(self):
+        surrogate = FastSigmoidSurrogate()
+        assert surrogate.derivative(np.array([0.3])) == pytest.approx(surrogate.derivative(np.array([-0.3])))
+
+    def test_atan_positive_everywhere(self):
+        surrogate = ATanSurrogate(alpha=2.0)
+        assert np.all(surrogate.derivative(np.linspace(-5, 5, 21)) > 0)
+
+    def test_triangular_support(self):
+        surrogate = TriangularSurrogate(width=1.0)
+        assert surrogate.derivative(np.array([2.0])) == 0.0
+        assert surrogate.derivative(np.array([0.0])) == pytest.approx(1.0)
+
+    def test_straight_through_window(self):
+        surrogate = StraightThroughSurrogate(window=0.5)
+        np.testing.assert_allclose(surrogate.derivative(np.array([-0.4, 0.0, 0.6])), [1.0, 1.0, 0.0])
+
+    def test_registry_lookup(self):
+        assert isinstance(get_surrogate("fast_sigmoid"), FastSigmoidSurrogate)
+        assert isinstance(get_surrogate("atan", alpha=3.0), ATanSurrogate)
+        instance = TriangularSurrogate()
+        assert get_surrogate(instance) is instance
+
+    def test_registry_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_surrogate("nope")
+
+    @pytest.mark.parametrize("cls", [FastSigmoidSurrogate, ATanSurrogate, TriangularSurrogate, StraightThroughSurrogate])
+    def test_invalid_parameters_raise(self, cls):
+        with pytest.raises(ValueError):
+            cls(-1.0)
+
+
+class TestSpikeFunction:
+    def test_forward_is_heaviside(self):
+        membrane = Tensor(np.array([0.2, 1.0, 1.7]))
+        spikes = spike_function(membrane, threshold=1.0, surrogate=FastSigmoidSurrogate())
+        np.testing.assert_allclose(spikes.data, [0.0, 1.0, 1.0])
+
+    def test_backward_uses_surrogate(self):
+        surrogate = FastSigmoidSurrogate(slope=10.0)
+        membrane = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        spikes = spike_function(membrane, threshold=1.0, surrogate=surrogate)
+        spikes.sum().backward()
+        expected = surrogate.derivative(membrane.data - 1.0)
+        np.testing.assert_allclose(membrane.grad, expected)
+
+    def test_no_graph_without_grad(self):
+        membrane = Tensor(np.array([2.0]))
+        spikes = spike_function(membrane, 1.0, FastSigmoidSurrogate())
+        assert not spikes.requires_grad
+
+
+class TestLIFNeuron:
+    def test_subthreshold_input_never_spikes(self):
+        neuron = LIFNeuron(beta=0.5, threshold=1.0)
+        neuron.reset_state()
+        for _ in range(20):
+            spikes = neuron(Tensor(np.array([0.3])))
+        assert spikes.data[0] == 0.0
+
+    def test_strong_input_spikes_immediately(self):
+        neuron = LIFNeuron(beta=0.9, threshold=1.0)
+        neuron.reset_state()
+        spikes = neuron(Tensor(np.array([1.5])))
+        assert spikes.data[0] == 1.0
+
+    def test_membrane_decay_without_input(self):
+        neuron = LIFNeuron(beta=0.5, threshold=10.0)
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.0])))
+        neuron(Tensor(np.array([0.0])))
+        assert neuron.membrane.data[0] == pytest.approx(0.5)
+        neuron(Tensor(np.array([0.0])))
+        assert neuron.membrane.data[0] == pytest.approx(0.25)
+
+    def test_soft_reset_subtracts_threshold(self):
+        neuron = LIFNeuron(beta=1.0, threshold=1.0, reset_mechanism="subtract")
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.4])))  # spikes, membrane 1.4
+        neuron(Tensor(np.array([0.0])))
+        # membrane = (1.4 - 1.0) * 1.0 + 0 = 0.4
+        assert neuron.membrane.data[0] == pytest.approx(0.4)
+
+    def test_hard_reset_zeroes_membrane(self):
+        neuron = LIFNeuron(beta=1.0, threshold=1.0, reset_mechanism="zero")
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.4])))
+        neuron(Tensor(np.array([0.0])))
+        assert neuron.membrane.data[0] == pytest.approx(0.0)
+
+    def test_no_reset_accumulates(self):
+        neuron = LIFNeuron(beta=1.0, threshold=1.0, reset_mechanism="none")
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.4])))
+        neuron(Tensor(np.array([0.6])))
+        assert neuron.membrane.data[0] == pytest.approx(2.0)
+
+    def test_integration_over_time_reaches_threshold(self):
+        neuron = LIFNeuron(beta=1.0, threshold=1.0)
+        neuron.reset_state()
+        outputs = [neuron(Tensor(np.array([0.4]))).data[0] for _ in range(3)]
+        assert outputs == [0.0, 0.0, 1.0]
+
+    def test_reset_state_clears(self):
+        neuron = LIFNeuron()
+        neuron(Tensor(np.array([2.0])))
+        neuron.reset_state()
+        assert neuron.membrane is None and neuron.previous_spikes is None
+
+    def test_detach_state_cuts_graph(self):
+        neuron = LIFNeuron()
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        neuron(x)
+        neuron.detach_state()
+        assert not neuron.membrane.requires_grad
+
+    def test_record_spikes_and_firing_rate(self):
+        neuron = LIFNeuron(beta=1.0, threshold=1.0)
+        neuron.record_spikes = True
+        neuron.reset_state()
+        for value in (1.5, 0.0, 0.0, 1.5):
+            neuron(Tensor(np.array([value])))
+        assert len(neuron.spike_record) == 4
+        assert neuron.firing_rate() == pytest.approx(0.5)
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            LIFNeuron(beta=0.0)
+        with pytest.raises(ValueError):
+            LIFNeuron(beta=1.5)
+
+    def test_invalid_threshold_and_reset(self):
+        with pytest.raises(ValueError):
+            LIFNeuron(threshold=-1.0)
+        with pytest.raises(ValueError):
+            LIFNeuron(reset_mechanism="bogus")
+
+    def test_learnable_beta_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            LIFNeuron(learn_beta=True)
+
+    def test_gradient_flows_through_time(self):
+        """BPTT: gradient of later spikes w.r.t. earlier input must be non-zero."""
+        neuron = LIFNeuron(beta=0.9, threshold=1.0)
+        neuron.reset_state()
+        x0 = Tensor(np.array([0.6]), requires_grad=True)
+        neuron(x0)
+        out = neuron(Tensor(np.array([0.6])))
+        out.sum().backward()
+        assert x0.grad is not None and x0.grad[0] != 0.0
+
+
+class TestIFNeuron:
+    def test_no_leak(self):
+        neuron = IFNeuron(threshold=10.0)
+        neuron.reset_state()
+        neuron(Tensor(np.array([1.0])))
+        neuron(Tensor(np.array([0.0])))
+        assert neuron.membrane.data[0] == pytest.approx(1.0)
+
+    def test_spikes_when_threshold_crossed(self):
+        neuron = IFNeuron(threshold=1.0)
+        neuron.reset_state()
+        outputs = [neuron(Tensor(np.array([0.5]))).data[0] for _ in range(2)]
+        assert outputs == [0.0, 1.0]
+
+
+class TestLeakyIntegrator:
+    def test_accumulates_with_decay(self):
+        readout = LeakyIntegrator(beta=0.5)
+        readout.reset_state()
+        readout(Tensor(np.array([1.0])))
+        out = readout(Tensor(np.array([1.0])))
+        assert out.data[0] == pytest.approx(1.5)
+
+    def test_never_spikes_and_keeps_graph(self):
+        readout = LeakyIntegrator(beta=0.9)
+        readout.reset_state()
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        out = readout(x)
+        out = readout(Tensor(np.array([0.0])))
+        out.sum().backward()
+        assert x.grad[0] == pytest.approx(0.9)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            LeakyIntegrator(beta=0.0)

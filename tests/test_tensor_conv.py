@@ -1,0 +1,159 @@
+"""Tests of im2col convolution and pooling: shapes, reference values, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, avg_pool2d, conv2d, global_avg_pool2d, gradcheck, max_pool2d
+from repro.tensor.conv import conv_output_shape
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0, groups=1):
+    """Straightforward reference convolution used to validate the fast path."""
+    n, c_in, h, width = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    c_out_g = c_out // groups
+    for sample in range(n):
+        for oc in range(c_out):
+            g = oc // c_out_g
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[
+                        sample,
+                        g * c_in_g : (g + 1) * c_in_g,
+                        i * stride : i * stride + kh,
+                        j * stride : j * stride + kw,
+                    ]
+                    out[sample, oc, i, j] = (patch * w[oc]).sum()
+            if b is not None:
+                out[sample, oc] += b[oc]
+    return out
+
+
+class TestConvOutputShape:
+    def test_basic(self):
+        assert conv_output_shape(8, 8, 3, 1, 1) == (8, 8)
+        assert conv_output_shape(8, 8, 3, 2, 1) == (4, 4)
+        assert conv_output_shape(7, 9, (3, 5), 1, 0) == (5, 5)
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 5, 1, 0)
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        fast = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = naive_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(fast.data, ref, atol=1e-10)
+
+    def test_grouped_matches_naive(self, rng):
+        x = rng.normal(size=(2, 4, 5, 5))
+        w = rng.normal(size=(8, 2, 3, 3))
+        fast = conv2d(Tensor(x), Tensor(w), None, padding=1, groups=2)
+        ref = naive_conv2d(x, w, None, padding=1, groups=2)
+        np.testing.assert_allclose(fast.data, ref, atol=1e-10)
+
+    def test_depthwise_matches_naive(self, rng):
+        x = rng.normal(size=(1, 6, 5, 5))
+        w = rng.normal(size=(6, 1, 3, 3))
+        fast = conv2d(Tensor(x), Tensor(w), None, padding=1, groups=6)
+        ref = naive_conv2d(x, w, None, padding=1, groups=6)
+        np.testing.assert_allclose(fast.data, ref, atol=1e-10)
+
+    def test_1x1_conv(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        fast = conv2d(Tensor(x), Tensor(w))
+        ref = naive_conv2d(x, w)
+        np.testing.assert_allclose(fast.data, ref, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_bad_groups_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w, groups=2)
+
+
+class TestConv2dBackward:
+    def test_gradcheck_with_bias(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.4, requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        ok, err = gradcheck(lambda x, w, b: conv2d(x, w, b, stride=1, padding=1), [x, w, b])
+        assert ok, err
+
+    def test_gradcheck_strided(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.4, requires_grad=True)
+        ok, err = gradcheck(lambda x, w: conv2d(x, w, None, stride=2, padding=1), [x, w])
+        assert ok, err
+
+    def test_gradcheck_depthwise(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 1, 3, 3)) * 0.4, requires_grad=True)
+        ok, err = gradcheck(lambda x, w: conv2d(x, w, None, padding=1, groups=3), [x, w])
+        assert ok, err
+
+    def test_no_grad_skips_graph(self, rng):
+        from repro.tensor import no_grad
+
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        with no_grad():
+            out = conv2d(x, w, padding=1)
+        assert not out.requires_grad
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[5.0, 7.0], [13.0, 15.0]]]])
+
+    def test_max_pool_grad_routes_to_max(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_pool_with_stride_and_padding(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 5, 5)), requires_grad=True)
+        out = max_pool2d(x, 3, stride=2, padding=1)
+        assert out.shape == (2, 3, 3, 3)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 4, 4)), requires_grad=True)
+        ok, err = gradcheck(lambda x: avg_pool2d(x, 2), [x])
+        assert ok, err
+
+    def test_max_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        ok, err = gradcheck(lambda x: max_pool2d(x, 2), [x])
+        assert ok, err
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(3, 5, 4, 4))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (3, 5)
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))

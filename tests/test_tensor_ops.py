@@ -1,0 +1,336 @@
+"""Unit tests for the differentiable primitives in :mod:`repro.tensor.ops`.
+
+Every op gets (a) a forward-value check against plain NumPy and (b) a
+finite-difference gradient check through :func:`repro.tensor.gradcheck`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, gradcheck, ops
+
+
+def _t(rng, shape, scale=1.0):
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+
+class TestArithmetic:
+    def test_add_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        out = ops.add(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_add_broadcast_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4,))
+        out = ops.add(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a + b)
+
+    def test_add_gradcheck(self, rng):
+        ok, err = gradcheck(ops.add, [_t(rng, (3, 4)), _t(rng, (3, 4))])
+        assert ok, err
+
+    def test_add_broadcast_gradcheck(self, rng):
+        ok, err = gradcheck(ops.add, [_t(rng, (3, 4)), _t(rng, (4,))])
+        assert ok, err
+
+    def test_add_scalar_broadcast_gradcheck(self, rng):
+        ok, err = gradcheck(ops.add, [_t(rng, (2, 3)), _t(rng, (1,))])
+        assert ok, err
+
+    def test_sub_forward_and_grad(self, rng):
+        a, b = _t(rng, (2, 5)), _t(rng, (2, 5))
+        out = ops.sub(a, b)
+        np.testing.assert_allclose(out.data, a.data - b.data)
+        ok, err = gradcheck(ops.sub, [a, b])
+        assert ok, err
+
+    def test_mul_gradcheck(self, rng):
+        ok, err = gradcheck(ops.mul, [_t(rng, (3, 3)), _t(rng, (3, 3))])
+        assert ok, err
+
+    def test_mul_broadcast_gradcheck(self, rng):
+        ok, err = gradcheck(ops.mul, [_t(rng, (2, 3, 4)), _t(rng, (3, 1))])
+        assert ok, err
+
+    def test_div_gradcheck(self, rng):
+        denominator = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        ok, err = gradcheck(ops.div, [_t(rng, (3, 4)), denominator])
+        assert ok, err
+
+    def test_neg_gradcheck(self, rng):
+        ok, err = gradcheck(ops.neg, [_t(rng, (4,))])
+        assert ok, err
+
+    def test_power_gradcheck(self, rng):
+        base = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)), requires_grad=True)
+        ok, err = gradcheck(lambda x: ops.power(x, 3.0), [base])
+        assert ok, err
+
+    def test_power_half(self, rng):
+        base = Tensor(rng.uniform(0.5, 2.0, size=(5,)), requires_grad=True)
+        out = ops.power(base, 0.5)
+        np.testing.assert_allclose(out.data, np.sqrt(base.data))
+
+    def test_operator_overloads_match_ops(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)))
+        b = Tensor(rng.normal(size=(2, 2)))
+        np.testing.assert_allclose((a + b).data, ops.add(a, b).data)
+        np.testing.assert_allclose((a - b).data, ops.sub(a, b).data)
+        np.testing.assert_allclose((a * b).data, ops.mul(a, b).data)
+        np.testing.assert_allclose((a / (b + 10.0)).data, ops.div(a, ops.add(b, 10.0)).data)
+        np.testing.assert_allclose((-a).data, ops.neg(a).data)
+        np.testing.assert_allclose((a ** 2).data, ops.power(a, 2).data)
+
+    def test_scalar_right_operators(self, rng):
+        a = Tensor(rng.normal(size=(3,)))
+        np.testing.assert_allclose((2.0 + a).data, 2.0 + a.data)
+        np.testing.assert_allclose((2.0 - a).data, 2.0 - a.data)
+        np.testing.assert_allclose((2.0 * a).data, 2.0 * a.data)
+        np.testing.assert_allclose((2.0 / (a + 5.0)).data, 2.0 / (a.data + 5.0))
+
+
+class TestMatmul:
+    def test_matmul_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        out = ops.matmul(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_matmul_gradcheck(self, rng):
+        ok, err = gradcheck(ops.matmul, [_t(rng, (3, 4)), _t(rng, (4, 2))])
+        assert ok, err
+
+    def test_batched_matmul_gradcheck(self, rng):
+        ok, err = gradcheck(ops.matmul, [_t(rng, (2, 3, 4)), _t(rng, (4, 5))])
+        assert ok, err
+
+
+# ---------------------------------------------------------------------------
+# nonlinearities
+# ---------------------------------------------------------------------------
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op,reference",
+        [
+            (ops.exp, np.exp),
+            (ops.tanh, np.tanh),
+            (ops.relu, lambda x: np.maximum(x, 0)),
+        ],
+    )
+    def test_forward_matches_numpy(self, rng, op, reference):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(op(Tensor(x)).data, reference(x))
+
+    def test_sigmoid_forward(self, rng):
+        x = rng.normal(size=(4, 4)) * 3
+        expected = 1.0 / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(ops.sigmoid(Tensor(x)).data, expected, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        out = ops.sigmoid(x).data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    @pytest.mark.parametrize("op", [ops.exp, ops.tanh, ops.sigmoid])
+    def test_gradcheck_smooth(self, rng, op):
+        ok, err = gradcheck(op, [_t(rng, (3, 4), scale=0.5)])
+        assert ok, err
+
+    def test_log_gradcheck(self, rng):
+        x = Tensor(rng.uniform(0.5, 3.0, size=(3, 4)), requires_grad=True)
+        ok, err = gradcheck(ops.log, [x])
+        assert ok, err
+
+    def test_relu_gradcheck_away_from_kink(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)) + np.where(rng.normal(size=(4, 4)) > 0, 0.5, -0.5), requires_grad=True)
+        ok, err = gradcheck(ops.relu, [x])
+        assert ok, err
+
+    def test_clip_forward_and_grad_mask(self, rng):
+        x = Tensor(np.array([-2.0, -0.5, 0.3, 1.7]), requires_grad=True)
+        out = ops.clip(x, -1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, -0.5, 0.3, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_maximum_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)) + 0.05, requires_grad=True)
+        ok, err = gradcheck(ops.maximum, [a, b])
+        assert ok, err
+
+    def test_minimum_forward(self, rng):
+        a, b = rng.normal(size=(5,)), rng.normal(size=(5,))
+        np.testing.assert_allclose(ops.minimum(Tensor(a), Tensor(b)).data, np.minimum(a, b))
+
+    def test_where_selects_by_condition(self, rng):
+        cond = np.array([True, False, True])
+        a, b = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True), Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        out = ops.where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+# ---------------------------------------------------------------------------
+# reductions and shape ops
+# ---------------------------------------------------------------------------
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.isclose(ops.sum(Tensor(x)).item(), x.sum())
+
+    def test_sum_axis_keepdims(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        out = ops.sum(Tensor(x), axis=1, keepdims=True)
+        np.testing.assert_allclose(out.data, x.sum(axis=1, keepdims=True))
+
+    def test_sum_axis_tuple_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.sum(x, axis=(0, 2)), [_t(rng, (2, 3, 4))])
+        assert ok, err
+
+    def test_mean_axis_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.mean(x, axis=1), [_t(rng, (3, 5))])
+        assert ok, err
+
+    def test_mean_all_value(self, rng):
+        x = rng.normal(size=(4, 4))
+        assert np.isclose(ops.mean(Tensor(x)).item(), x.mean())
+
+    def test_max_axis_forward(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(ops.max(Tensor(x), axis=1).data, x.max(axis=1))
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        ops.max(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_global_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.max(x), [_t(rng, (3, 4))])
+        assert ok, err
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.reshape(x, (6, 2)), [_t(rng, (3, 4))])
+        assert ok, err
+
+    def test_reshape_infer_dimension(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert ops.reshape(x, (2, -1)).shape == (2, 12)
+
+    def test_transpose_default_reverses(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert ops.transpose(x).shape == (4, 3, 2)
+
+    def test_transpose_axes_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.transpose(x, (1, 0, 2)), [_t(rng, (2, 3, 4))])
+        assert ok, err
+
+    def test_broadcast_to_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.broadcast_to(x, (4, 3)), [_t(rng, (1, 3))])
+        assert ok, err
+
+    def test_concat_forward(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(2, 5))
+        out = ops.concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=1))
+
+    def test_concat_gradcheck_three_inputs(self, rng):
+        ok, err = gradcheck(
+            lambda a, b, c: ops.concat([a, b, c], axis=1),
+            [_t(rng, (2, 2)), _t(rng, (2, 3)), _t(rng, (2, 1))],
+        )
+        assert ok, err
+
+    def test_concat_channel_axis_like_dsc(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 5, 4, 4)), requires_grad=True)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 8, 4, 4)
+        out.sum().backward()
+        assert a.grad.shape == a.shape and b.grad.shape == b.shape
+
+    def test_stack_forward_and_grad(self, rng):
+        ok, err = gradcheck(lambda a, b: ops.stack([a, b], axis=0), [_t(rng, (2, 3)), _t(rng, (2, 3))])
+        assert ok, err
+
+    def test_getitem_slice_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.getitem(x, (slice(None), slice(0, 2))), [_t(rng, (3, 4))])
+        assert ok, err
+
+    def test_getitem_integer_index_accumulates(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        out = x[np.array([0, 0, 2])]
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_pad2d_shape_and_grad(self, rng):
+        x = _t(rng, (1, 2, 3, 3))
+        out = ops.pad2d(x, 2)
+        assert out.shape == (1, 2, 7, 7)
+        ok, err = gradcheck(lambda x: ops.pad2d(x, 1), [x])
+        assert ok, err
+
+    def test_pad2d_zero_padding_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 3, 3)))
+        assert ops.pad2d(x, 0) is x
+
+
+# ---------------------------------------------------------------------------
+# composite ops
+# ---------------------------------------------------------------------------
+
+
+class TestComposite:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = ops.softmax(Tensor(rng.normal(size=(4, 7))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.softmax(x, axis=1), [_t(rng, (3, 5))])
+        assert ok, err
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(
+            ops.log_softmax(Tensor(x), axis=1).data,
+            np.log(ops.softmax(Tensor(x), axis=1).data),
+            atol=1e-10,
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        ok, err = gradcheck(lambda x: ops.log_softmax(x, axis=1), [_t(rng, (4, 5))])
+        assert ok, err
+
+    def test_log_softmax_shift_invariance(self, rng):
+        x = rng.normal(size=(2, 5))
+        a = ops.log_softmax(Tensor(x), axis=1).data
+        b = ops.log_softmax(Tensor(x + 100.0), axis=1).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_dropout_identity_when_p_zero(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)), requires_grad=True)
+        assert ops.dropout_mask(x, 0.0, rng) is x
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = ops.dropout_mask(x, 0.5, np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_grad_uses_same_mask(self):
+        x = Tensor(np.ones((50, 50)), requires_grad=True)
+        out = ops.dropout_mask(x, 0.5, np.random.default_rng(1))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, out.data)
