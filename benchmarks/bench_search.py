@@ -1,0 +1,189 @@
+"""End-to-end benchmark of the incremental GP search engine.
+
+Two measurements, so the speedup of the incremental engine is a tracked
+number instead of a claim:
+
+1. **GP posterior update vs. full refit** — time to absorb one new
+   observation into an ``n``-point posterior, either by refitting from
+   scratch (O(n^3)) or by extending the cached Cholesky factor
+   (:meth:`~repro.gp.gp.GaussianProcessRegressor.update`, O(n^2)), at
+   n in {50, 200, 800}.
+2. **End-to-end BO iteration throughput** — wall-clock per Bayesian
+   optimization iteration on a synthetic objective (batch_size=4,
+   constant-liar batches) with the incremental engine on and off.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_search.py            # full numbers
+    PYTHONPATH=src python benchmarks/bench_search.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_search.py --output bench.json
+
+The JSON output is uploaded as a CI artifact by the benchmark smoke job so
+regressions show up in the workflow history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bayes_opt import BayesianOptimizer
+from repro.core.objectives import EvaluationResult, Objective
+from repro.core.search_space import ArchitectureSpec, BlockSearchInfo, SearchSpace
+from repro.gp.gp import GaussianProcessRegressor
+from repro.gp.kernels import HammingKernel
+
+
+class SyntheticObjective(Objective):
+    """Deterministic, instant stand-in for the accuracy-drop objective.
+
+    The value is a smooth function of the encoding so the GP has structure to
+    model, but evaluation costs nothing — the benchmark isolates the *search
+    engine* (GP fits, constant-liar proposals), which is exactly what the
+    incremental refactor targets.
+    """
+
+    def __init__(self) -> None:
+        self.num_evaluations = 0
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        self.num_evaluations += 1
+        encoding = spec.encode()
+        value = float(np.cos(encoding).sum() / max(len(encoding), 1)) + 0.01 * spec.total_skips()
+        return EvaluationResult(spec=spec, objective_value=value, accuracy=1.0 - value)
+
+
+def make_search_space(num_blocks: int = 4, depth: int = 6) -> SearchSpace:
+    """A search space large enough that random pools never exhaust it."""
+    return SearchSpace(
+        [BlockSearchInfo(depth=depth, name=f"block{i}") for i in range(num_blocks)],
+        name="bench-space",
+    )
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_gp_update(sizes: Sequence[int], repeats: int, dim: int = 24) -> List[Dict[str, float]]:
+    """Time a full refit vs. an incremental update of one new observation."""
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in sizes:
+        x = rng.integers(0, 3, size=(n + 1, dim)).astype(np.float64)
+        y = rng.normal(size=n + 1)
+        base = GaussianProcessRegressor(HammingKernel(), noise=1e-3).fit(x[:n], y[:n])
+
+        def refit() -> None:
+            GaussianProcessRegressor(HammingKernel(), noise=1e-3).fit(x, y)
+
+        def update() -> None:
+            # update() rebinds (never mutates) the fitted arrays, so a shallow
+            # clone of the fitted state is enough to restart from `base`
+            gp = GaussianProcessRegressor(HammingKernel(), noise=1e-3)
+            gp.__dict__.update(base.__dict__)
+            gp.update(x[n:], y[n:])
+
+        refit_s = _time(refit, repeats)
+        update_s = _time(update, repeats)
+        rows.append(
+            {
+                "n": float(n),
+                "refit_ms": refit_s * 1e3,
+                "update_ms": update_s * 1e3,
+                "speedup": refit_s / update_s if update_s > 0 else float("inf"),
+            }
+        )
+    return rows
+
+
+def bench_bo_iterations(
+    preseed: int,
+    iterations: int,
+    batch_size: int = 4,
+    pool_size: int = 64,
+) -> Dict[str, float]:
+    """Time BO iterations with the incremental engine on and off.
+
+    The history is preseeded with ``preseed`` evaluations so the GP is at a
+    realistic production size when timing starts; the synthetic objective is
+    free, so the per-iteration time is dominated by the surrogate machinery.
+    """
+    timings: Dict[str, float] = {}
+    for label, incremental in (("incremental", True), ("legacy", False)):
+        space = make_search_space()
+        optimizer = BayesianOptimizer(
+            space,
+            SyntheticObjective(),
+            initial_points=preseed,
+            batch_size=batch_size,
+            candidate_pool_size=pool_size,
+            incremental=incremental,
+            rng=0,
+        )
+        optimizer.optimize(0)  # evaluate the preseed points only
+        start = time.perf_counter()
+        optimizer.optimize(iterations)
+        elapsed = time.perf_counter() - start
+        timings[f"{label}_s_per_iter"] = elapsed / iterations
+    timings["speedup"] = timings["legacy_s_per_iter"] / timings["incremental_s_per_iter"]
+    timings["preseed"] = float(preseed)
+    timings["iterations"] = float(iterations)
+    timings["batch_size"] = float(batch_size)
+    return timings
+
+
+def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float]) -> str:
+    """Human-readable benchmark report."""
+    lines = ["GP posterior: full refit vs incremental update (one new point)"]
+    lines.append(f"{'n':>6} {'refit ms':>10} {'update ms':>10} {'speedup':>9}")
+    for row in gp_rows:
+        lines.append(
+            f"{int(row['n']):>6} {row['refit_ms']:>10.2f} {row['update_ms']:>10.2f} {row['speedup']:>8.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"BO end-to-end (batch_size={int(bo['batch_size'])}, history preseed={int(bo['preseed'])}): "
+        f"legacy {bo['legacy_s_per_iter'] * 1e3:.1f} ms/iter, "
+        f"incremental {bo['incremental_s_per_iter'] * 1e3:.1f} ms/iter "
+        f"({bo['speedup']:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Benchmark entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description="Benchmark the incremental GP search engine")
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run (fewer repeats/iterations)")
+    parser.add_argument("--output", default=None, help="optional path for the JSON timings")
+    args = parser.parse_args(argv)
+
+    sizes = (50, 200, 800)
+    repeats = 2 if args.smoke else 5
+    preseed = 200 if args.smoke else 300
+    iterations = 3 if args.smoke else 10
+
+    gp_rows = bench_gp_update(sizes, repeats=repeats)
+    bo = bench_bo_iterations(preseed=preseed, iterations=iterations)
+    print(format_report(gp_rows, bo))
+
+    if args.output:
+        payload = {"gp_update": gp_rows, "bo_iterations": bo, "smoke": bool(args.smoke)}
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nsaved timings to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,15 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--plot", action="store_true", help="also render an ASCII chart")
 
 
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent evaluation store; candidate evaluations "
+        "are appended there (JSONL) and re-used by later runs sharing the directory",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -58,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = subparsers.add_parser("table1", help="run the Table I adaptation grid")
     table1.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS), choices=available_datasets())
     table1.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS), choices=available_models())
+    _add_cache_argument(table1)
     _add_common_arguments(table1)
 
     figure3 = subparsers.add_parser("figure3", help="run the Fig. 3 BO-vs-random-search comparison")
@@ -65,11 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--model", default="resnet18", choices=available_models())
     figure3.add_argument("--runs", type=int, default=None, help="number of repeated runs")
     figure3.add_argument("--iterations", type=int, default=None, help="evaluations per run")
+    _add_cache_argument(figure3)
     _add_common_arguments(figure3)
 
     adapt = subparsers.add_parser("adapt", help="run the adaptation pipeline for one dataset/model pair")
     adapt.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
     adapt.add_argument("--model", default="resnet18", choices=available_models())
+    _add_cache_argument(adapt)
     _add_common_arguments(adapt)
 
     subparsers.add_parser("info", help="list available datasets, models and scales")
@@ -91,7 +103,9 @@ def _command_figure1(args) -> int:
 
 def _command_table1(args) -> int:
     scale = get_scale(args.scale)
-    result = run_table1(scale=scale, datasets=args.datasets, models=args.models, seed=args.seed)
+    result = run_table1(
+        scale=scale, datasets=args.datasets, models=args.models, seed=args.seed, cache_dir=args.cache_dir
+    )
     print(format_table1(result))
     if args.output:
         save_result(result, args.output)
@@ -108,6 +122,7 @@ def _command_figure3(args) -> int:
         num_runs=args.runs,
         iterations=args.iterations,
         seed=args.seed,
+        cache_dir=args.cache_dir,
     )
     print(format_figure3(result))
     if args.plot:
@@ -121,7 +136,9 @@ def _command_figure3(args) -> int:
 
 def _command_adapt(args) -> int:
     scale = get_scale(args.scale)
-    adaptation = run_table1_cell(args.dataset, args.model, scale=scale, seed=args.seed)
+    adaptation = run_table1_cell(
+        args.dataset, args.model, scale=scale, seed=args.seed, cache_dir=args.cache_dir
+    )
     print(adaptation.summary())
     print(f"best architecture: {adaptation.best_spec}")
     table = Table1Result()

@@ -56,6 +56,7 @@ __all__ = [
     "AdaptationResult",
     "SNNAdapter",
     "CachedObjective",
+    "PersistentEvaluationStore",
     "FidelitySchedule",
     "MultiFidelityObjective",
     "SuccessiveHalvingSearch",
@@ -79,6 +80,7 @@ _LAZY_EXPORTS = {
     "AdaptationResult": "repro.core.adapter",
     "SNNAdapter": "repro.core.adapter",
     "CachedObjective": "repro.core.cache",
+    "PersistentEvaluationStore": "repro.core.cache",
     "FidelitySchedule": "repro.core.multi_fidelity",
     "MultiFidelityObjective": "repro.core.multi_fidelity",
     "SuccessiveHalvingSearch": "repro.core.multi_fidelity",

@@ -15,6 +15,16 @@ The optimizer follows Section III-B of the paper:
 * evaluated weights are shared across candidates through the objective's
   :class:`~repro.core.weight_sharing.WeightStore`, so each evaluation is only
   a short fine-tune.
+
+The search engine is **incremental** by default: the GP surrogate is fitted
+once and every subsequent observation extends its cached Cholesky factor in
+O(n^2) (:meth:`~repro.gp.gp.GaussianProcessRegressor.update`), and the
+constant-liar inner loop conditions a
+:class:`~repro.gp.gp.FantasizedPosterior` instead of refitting per lie — the
+train-pool cross-kernel block is computed once per iteration and grown by one
+row per fantasy.  ``incremental=False`` restores the legacy
+refit-from-scratch engine (kept for A/B benchmarking in
+``benchmarks/bench_search.py``).
 """
 
 from __future__ import annotations
@@ -141,6 +151,11 @@ class BayesianOptimizer:
         every iteration.
     workers:
         Worker processes used to evaluate a proposal batch (1 = sequential).
+    incremental:
+        When ``True`` (default) the surrogate persists across iterations and
+        new observations extend its Cholesky factor in O(n^2); the
+        constant-liar loop uses rank-1 fantasy updates.  ``False`` refits from
+        scratch every iteration and once per lie (the legacy engine).
     """
 
     def __init__(
@@ -155,6 +170,7 @@ class BayesianOptimizer:
         noise: float = 1e-3,
         include_default: bool = True,
         workers: int = 1,
+        incremental: bool = True,
         rng=None,
     ) -> None:
         if initial_points < 1:
@@ -173,8 +189,19 @@ class BayesianOptimizer:
         self.noise = float(noise)
         self.include_default = bool(include_default)
         self.workers = int(workers)
+        self.incremental = bool(incremental)
         self._rng = default_rng(rng)
         self.history = OptimizationHistory()
+        # incremental engine state: the persistent surrogate, how many history
+        # records it has absorbed, and the dedup key set grown per evaluation
+        # (rebuilding it from the full history every iteration is O(n) encodes)
+        self._surrogate: Optional[GaussianProcessRegressor] = None
+        self._num_modelled = 0
+        self._modelled_tail: Optional[OptimizationRecord] = None
+        self._evaluated_keys: set = set()
+        self._keys_watermark = 0
+        self._keys_tail: Optional[OptimizationRecord] = None
+        self._history_ref = self.history
 
     # ------------------------------------------------------------------
     def _evaluate(self, specs: Sequence[ArchitectureSpec], iteration: int, source: str) -> List[OptimizationRecord]:
@@ -185,6 +212,48 @@ class BayesianOptimizer:
             self.history.append(record)
             records.append(record)
         return records
+
+    def _reset_incremental_state(self) -> None:
+        """Forget everything absorbed from a history that was swapped out."""
+        self._surrogate = None
+        self._num_modelled = 0
+        self._modelled_tail = None
+        self._evaluated_keys = set()
+        self._keys_watermark = 0
+        self._keys_tail = None
+        self._history_ref = self.history
+
+    def _guard_incremental_state(self) -> None:
+        """Detect external history replacement (not just truncation).
+
+        ``optimize`` supports a pre-populated history, so swapping in a
+        different one between calls is an in-API pattern; the absorbed prefix
+        is validated by identity of its tail record, which catches
+        replacement by an equal-or-longer history as well as truncation.
+        """
+        records = self.history.records
+        stale = (
+            self._history_ref is not self.history
+            or self._num_modelled > len(records)
+            or (self._num_modelled > 0 and records[self._num_modelled - 1] is not self._modelled_tail)
+            or self._keys_watermark > len(records)
+            or (self._keys_watermark > 0 and records[self._keys_watermark - 1] is not self._keys_tail)
+        )
+        if stale:
+            self._reset_incremental_state()
+
+    def _dedup_keys(self) -> set:
+        """Keys of every evaluated architecture, grown incrementally.
+
+        Only records appended since the last call are encoded, so the
+        per-iteration cost is O(batch) instead of O(history).
+        """
+        self._guard_incremental_state()
+        for record in self.history.records[self._keys_watermark :]:
+            self._evaluated_keys.add(record.spec.encode().tobytes())
+        self._keys_watermark = len(self.history)
+        self._keys_tail = self.history.records[-1] if self.history.records else None
+        return self._evaluated_keys
 
     def _initial_specs(self) -> List[ArchitectureSpec]:
         specs: List[ArchitectureSpec] = []
@@ -197,19 +266,66 @@ class BayesianOptimizer:
         return specs[: self.initial_points]
 
     def _fit_surrogate(self) -> GaussianProcessRegressor:
-        encodings = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
-        values = np.array([record.objective_value for record in self.history], dtype=np.float64)
-        model = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
-        model.fit(encodings, values)
-        return model
+        self._guard_incremental_state()
+        if not self.incremental or self._surrogate is None:
+            # full (re)fit: first iteration, legacy engine, or a history swap
+            encodings = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
+            values = np.array([record.objective_value for record in self.history], dtype=np.float64)
+            model = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+            model.fit(encodings, values)
+            self._surrogate = model
+        else:
+            new_records = self.history.records[self._num_modelled :]
+            if new_records:
+                # O(n^2 k) rank-k extension of the cached Cholesky factor
+                encodings = np.array([record.spec.encode() for record in new_records], dtype=np.float64)
+                values = np.array([record.objective_value for record in new_records], dtype=np.float64)
+                self._surrogate.update(encodings, values)
+        self._num_modelled = len(self.history)
+        self._modelled_tail = self.history.records[-1] if self.history.records else None
+        return self._surrogate
 
     def _propose_batch(self, surrogate: GaussianProcessRegressor, iteration: int) -> List[ArchitectureSpec]:
-        evaluated = self.history.evaluated_keys()
+        evaluated = self._dedup_keys()
         pool = self.search_space.sample_batch(
             self.candidate_pool_size, rng=self._rng, exclude=evaluated
         )
         if not pool:
             return []
+        if self.incremental:
+            return self._propose_batch_incremental(surrogate, pool, iteration)
+        return self._propose_batch_legacy(surrogate, pool, iteration)
+
+    def _propose_batch_incremental(
+        self, surrogate: GaussianProcessRegressor, pool: List[ArchitectureSpec], iteration: int
+    ) -> List[ArchitectureSpec]:
+        """Constant-liar proposal via rank-1 fantasy updates.
+
+        The train-pool cross-kernel block is computed once when the fantasy
+        posterior is built; each lie appends one row to it and extends the
+        Cholesky factor by one rank, so the whole batch costs
+        O(k (n^2 + n m)) instead of k full O(n^3) refits.
+        """
+        best_value = self.history.best().objective_value
+        fantasy = surrogate.fantasize(np.array([spec.encode() for spec in pool], dtype=np.float64))
+        proposals: List[ArchitectureSpec] = []
+        for _ in range(self.batch_size):
+            if not pool:
+                break
+            mean, std = fantasy.predict()
+            scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
+            chosen_index = int(np.argmax(scores))
+            proposals.append(pool.pop(chosen_index))
+            if pool and len(proposals) < self.batch_size:
+                encoding = fantasy.remove(chosen_index)
+                # constant liar: pretend the pick returned the current best
+                fantasy.condition(encoding, best_value)
+        return proposals
+
+    def _propose_batch_legacy(
+        self, surrogate: GaussianProcessRegressor, pool: List[ArchitectureSpec], iteration: int
+    ) -> List[ArchitectureSpec]:
+        """Seed engine: rebuild encoding arrays and refit the GP once per lie."""
         best_value = self.history.best().objective_value
         proposals: List[ArchitectureSpec] = []
         # constant-liar batch proposal: after choosing a candidate, pretend it

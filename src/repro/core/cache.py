@@ -1,4 +1,4 @@
-"""Evaluation cache: memoisation of architecture evaluations.
+"""Evaluation cache: memoisation and persistence of architecture evaluations.
 
 Search methods occasionally revisit an architecture (e.g. random restarts,
 ablation sweeps that share configurations, the incumbent being re-evaluated at
@@ -8,12 +8,22 @@ pipeline, so :class:`CachedObjective` wraps any
 the architecture encoding.  The cache also doubles as a tabular record of the
 search (a miniature NAS-bench for the explored region) that can be exported
 and re-loaded across runs.
+
+:class:`PersistentEvaluationStore` is the disk-backed tier: an append-only
+JSONL file keyed by :func:`spec_key`.  Every record is written with a single
+``O_APPEND`` write (atomic on POSIX for writes well under ``PIPE_BUF``-scale
+sizes), so concurrent runs — BO, random search, local search, multi-fidelity —
+can safely share one store, and a torn trailing line from a crashed run is
+skipped on load instead of poisoning the file.  Plug a store into
+:class:`CachedObjective` (or pass ``--cache-dir`` to the CLI) and evaluations
+survive the process: a later run hits the store instead of re-training.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -28,11 +38,206 @@ def spec_key(spec: ArchitectureSpec) -> str:
     return ",".join(str(int(v)) for v in spec.encode())
 
 
-class CachedObjective(Objective):
-    """Exact-match memoisation wrapper around another objective."""
+def config_fingerprint(**config) -> str:
+    """Short, stable fingerprint of evaluation-relevant configuration.
 
-    def __init__(self, objective: Objective | Callable[[ArchitectureSpec], EvaluationResult]) -> None:
+    Cached objective values are only comparable between runs that evaluate
+    candidates the same way (same fine-tune budget, seed, penalties, ...).
+    Embedding this fingerprint in a store's filename keeps incompatible
+    configurations from silently sharing evaluations.
+    """
+    payload = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.md5(payload.encode("utf-8")).hexdigest()[:10]
+
+
+def dataset_fingerprint_fields(splits) -> Dict[str, object]:
+    """Fingerprint fields identifying the data an objective evaluates on.
+
+    Two runs whose datasets differ in size, resolution or class count must
+    not share cached evaluations even when every training hyperparameter
+    matches — include these fields in :func:`config_fingerprint` alongside
+    the training configuration.
+    """
+    return {
+        "dataset": splits.name,
+        "train_size": len(splits.train),
+        "val_size": len(splits.val),
+        "sample_shape": [int(v) for v in splits.sample_shape],
+        "num_classes": int(splits.num_classes),
+    }
+
+
+def evaluation_store_for(cache_dir, name_parts, **config) -> "PersistentEvaluationStore":
+    """Open the store for one (experiment, configuration) combination.
+
+    The filename is ``<name_parts joined by '-'>-<fingerprint>.jsonl`` under
+    ``cache_dir`` — the single place that defines what makes two runs'
+    evaluations comparable.  All experiment wiring (adapter, figure3) goes
+    through here so fingerprint coverage cannot drift between call sites.
+    """
+    tag = config_fingerprint(**config)
+    filename = "-".join([str(part) for part in name_parts] + [tag]) + ".jsonl"
+    return PersistentEvaluationStore(Path(cache_dir) / filename)
+
+
+def result_to_row(result: EvaluationResult) -> Dict[str, object]:
+    """JSON-serialisable row of the quantities a search needs back."""
+    return {
+        "encoding": [int(v) for v in result.spec.encode()],
+        "objective_value": float(result.objective_value),
+        "accuracy": float(result.accuracy),
+        "firing_rate": float(result.firing_rate),
+        "macs": float(result.macs),
+        "extra": {str(k): float(v) for k, v in result.extra.items()},
+    }
+
+
+def row_to_result(row: Dict[str, object], spec: ArchitectureSpec) -> EvaluationResult:
+    """Rebuild an :class:`EvaluationResult` from a stored row.
+
+    The training history is not persisted — a cached hit stands in for the
+    *outcome* of an evaluation, not its trajectory.
+    """
+    return EvaluationResult(
+        spec=spec,
+        objective_value=float(row["objective_value"]),
+        accuracy=float(row.get("accuracy", 0.0)),
+        firing_rate=float(row.get("firing_rate", 0.0)),
+        macs=float(row.get("macs", 0.0)),
+        extra=dict(row.get("extra", {})),
+    )
+
+
+class PersistentEvaluationStore:
+    """Append-only JSONL store of evaluation results, keyed by :func:`spec_key`.
+
+    Parameters
+    ----------
+    path:
+        Either a ``.jsonl`` file or a directory (the store then lives at
+        ``<path>/evaluations.jsonl``).  Parent directories are created.
+
+    The whole file is loaded into memory on construction (rows are tiny); a
+    duplicate key keeps the *latest* row, and a torn/corrupt line — possible
+    only as the trailing line of a crashed writer — is skipped.  ``hits`` /
+    ``misses`` count :meth:`get` lookups, mirroring :class:`CachedObjective`.
+    """
+
+    FILENAME = "evaluations.jsonl"
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.suffix != ".jsonl":
+            path = path / self.FILENAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._rows: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.skipped_lines = 0
+        self.reload()
+
+    # ------------------------------------------------------------------
+    def reload(self) -> int:
+        """(Re)read the backing file; returns the number of rows loaded."""
+        self._rows.clear()
+        self.skipped_lines = 0
+        self._needs_newline = False
+        if not self.path.exists():
+            return 0
+        text = self.path.read_text()
+        # a crashed writer can leave a torn line without a newline; remember to
+        # start the next append on a fresh line so it stays parseable
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+                key = row["key"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.skipped_lines += 1
+                continue
+            self._rows[key] = row
+        return len(self._rows)
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Stored row for ``key`` or ``None``; updates the hit/miss counters."""
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return row
+
+    def put(self, key: str, row: Dict[str, object]) -> None:
+        """Persist one row under ``key`` with a single atomic append."""
+        payload = {"key": key, **row}
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        if self._needs_newline:
+            line = "\n" + line
+            self._needs_newline = False
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            # loop on short writes: a partial os.write would otherwise drop
+            # the row's tail and concatenate the next writer's line onto it
+            view = memoryview(line.encode("utf-8"))
+            while view:
+                view = view[os.write(fd, view) :]
+        finally:
+            os.close(fd)
+        self._rows[key] = payload
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def keys(self) -> List[str]:
+        """All stored keys."""
+        return list(self._rows)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All stored rows."""
+        return list(self._rows.values())
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss statistics plus the store size."""
+        return {
+            "entries": float(len(self._rows)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "skipped_lines": float(self.skipped_lines),
+        }
+
+
+class CachedObjective(Objective):
+    """Exact-match memoisation wrapper around another objective.
+
+    With a :class:`PersistentEvaluationStore` attached, misses in the
+    in-memory tier fall through to the store before the wrapped objective is
+    evaluated, and fresh evaluations are appended to the store — so the cache
+    outlives the process and is shared by every search strategy pointed at the
+    same path.
+    """
+
+    def __init__(
+        self,
+        objective: Objective | Callable[[ArchitectureSpec], EvaluationResult],
+        store: Optional[PersistentEvaluationStore] = None,
+    ) -> None:
         self.objective = objective
+        self.store = store
         self._cache: Dict[str, EvaluationResult] = {}
         self.hits = 0
         self.misses = 0
@@ -42,9 +247,18 @@ class CachedObjective(Objective):
         if key in self._cache:
             self.hits += 1
             return self._cache[key]
+        if self.store is not None:
+            row = self.store.get(key)
+            if row is not None:
+                result = row_to_result(row, spec)
+                self._cache[key] = result
+                self.hits += 1
+                return result
         self.misses += 1
         result = self.objective(spec)
         self._cache[key] = result
+        if self.store is not None:
+            self.store.put(key, result_to_row(result))
         return result
 
     # ------------------------------------------------------------------
@@ -74,19 +288,17 @@ class CachedObjective(Objective):
     # persistence: a miniature tabular benchmark of the explored region
     # ------------------------------------------------------------------
     def to_table(self) -> List[Dict[str, object]]:
-        """Export the cache as a list of JSON-serialisable rows."""
+        """Export the cache as a list of JSON-serialisable rows.
+
+        Rows use the same serialisation as :class:`PersistentEvaluationStore`
+        (:func:`result_to_row`) plus a ``num_skips`` convenience column kept
+        for older saved tables.
+        """
         rows = []
-        for key, result in self._cache.items():
-            rows.append(
-                {
-                    "encoding": [int(v) for v in key.split(",")],
-                    "objective_value": result.objective_value,
-                    "accuracy": result.accuracy,
-                    "firing_rate": result.firing_rate,
-                    "macs": result.macs,
-                    "num_skips": result.extra.get("num_skips", float(result.spec.total_skips())),
-                }
-            )
+        for result in self._cache.values():
+            row = result_to_row(result)
+            row["num_skips"] = row["extra"].get("num_skips", float(result.spec.total_skips()))
+            rows.append(row)
         return rows
 
     def save(self, path: Union[str, Path]) -> None:
@@ -113,12 +325,5 @@ class CachedObjective(Objective):
         rows = json.loads(Path(path).read_text())
         for row in rows:
             spec = search_space.decode(np.asarray(row["encoding"], dtype=np.int64))
-            result = EvaluationResult(
-                spec=spec,
-                objective_value=row["objective_value"],
-                accuracy=row["accuracy"],
-                firing_rate=row.get("firing_rate", 0.0),
-                macs=row.get("macs", 0.0),
-            )
-            cache._cache[spec_key(spec)] = result
+            cache._cache[spec_key(spec)] = row_to_result(row, spec)
         return cache

@@ -84,11 +84,27 @@ class MultiFidelityObjective(Objective):
 
     The fidelity is the number of fine-tuning epochs; the wrapper swaps the
     epoch count of the base objective's training configuration per call.
+
+    A :class:`~repro.core.cache.PersistentEvaluationStore` can be attached;
+    entries are then keyed by ``<spec_key>@epochs=<n>`` so results at
+    different fidelities never collide, while still sharing the same backing
+    file as the single-fidelity searches.  Caveat: a store hit skips the
+    fine-tune entirely, so when the base objective uses a shared
+    :class:`~repro.core.weight_sharing.WeightStore` the hit does not replay
+    the candidate's weight updates (see ROADMAP open items).
     """
 
-    def __init__(self, base: AccuracyDropObjective) -> None:
+    def __init__(self, base: AccuracyDropObjective, store=None) -> None:
         self.base = base
+        self.store = store
         self._original_epochs = base.training_config.epochs
+
+    @staticmethod
+    def fidelity_key(spec: ArchitectureSpec, epochs: int) -> str:
+        """Store key of one (architecture, fidelity) evaluation."""
+        from repro.core.cache import spec_key
+
+        return f"{spec_key(spec)}@epochs={int(epochs)}"
 
     def at_fidelity(self, epochs: int) -> Callable[[ArchitectureSpec], EvaluationResult]:
         """Return a callable evaluating candidates with ``epochs`` fine-tune epochs."""
@@ -102,6 +118,12 @@ class MultiFidelityObjective(Objective):
         """Evaluate ``spec`` at the given fidelity (number of epochs)."""
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
+        if self.store is not None:
+            from repro.core.cache import row_to_result
+
+            row = self.store.get(self.fidelity_key(spec, epochs))
+            if row is not None:
+                return row_to_result(row, spec)
         original = self.base.training_config
         self.base.training_config = replace(original, epochs=int(epochs))
         try:
@@ -109,6 +131,10 @@ class MultiFidelityObjective(Objective):
         finally:
             self.base.training_config = original
         result.extra["fidelity_epochs"] = float(epochs)
+        if self.store is not None:
+            from repro.core.cache import result_to_row
+
+            self.store.put(self.fidelity_key(spec, epochs), result_to_row(result))
         return result
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:

@@ -62,18 +62,30 @@ class BlockSearchInfo:
 
 
 class ArchitectureSpec:
-    """One candidate architecture: one adjacency matrix per block."""
+    """One candidate architecture: one adjacency matrix per block.
+
+    Specs are treated as immutable once constructed (the constructor copies
+    its blocks), which lets :meth:`encode` cache its result — the encoding is
+    the single hottest object in the search loop (GP inputs, dedup keys,
+    cache keys).  The cached array is marked read-only; ``.copy()`` it if a
+    mutable view is needed.
+    """
 
     def __init__(self, blocks: Sequence[BlockAdjacency], name: str = "") -> None:
         if not blocks:
             raise ValueError("an architecture needs at least one block")
         self.blocks: Tuple[BlockAdjacency, ...] = tuple(block.copy() for block in blocks)
         self.name = name
+        self._encoding: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def encode(self) -> np.ndarray:
-        """Concatenated integer encoding of all blocks (GP input)."""
-        return np.concatenate([block.encode() for block in self.blocks])
+        """Concatenated integer encoding of all blocks (GP input); cached."""
+        if self._encoding is None:
+            encoding = np.concatenate([block.encode() for block in self.blocks])
+            encoding.flags.writeable = False
+            self._encoding = encoding
+        return self._encoding
 
     def total_skips(self) -> int:
         """Total number of skip connections across all blocks."""
@@ -195,26 +207,62 @@ class SearchSpace:
             blocks.append(block)
         return ArchitectureSpec(blocks, name=self.name)
 
+    def _position_choices(self) -> List[np.ndarray]:
+        """Allowed codes per flat encoding position, cached (sampling hot path)."""
+        cached = getattr(self, "_choices_cache", None)
+        if cached is None:
+            cached = []
+            for info in self.block_infos:
+                for position in info.positions():
+                    cached.append(np.asarray(info.allowed_at(position), dtype=np.int64))
+            self._choices_cache = cached
+        return cached
+
+    def _spec_from_encoding(self, encoding: np.ndarray) -> ArchitectureSpec:
+        """Build a spec from an encoding known to be admissible (no validation)."""
+        blocks = []
+        offset = 0
+        for info in self.block_infos:
+            length = len(info.positions())
+            blocks.append(BlockAdjacency.from_encoding(info.depth, encoding[offset : offset + length]))
+            offset += length
+        spec = ArchitectureSpec(blocks, name=self.name)
+        cached = np.asarray(encoding, dtype=np.int64).copy()
+        cached.flags.writeable = False
+        spec._encoding = cached
+        return spec
+
     def sample_batch(self, count: int, rng=None, unique: bool = True, exclude: Optional[set] = None) -> List[ArchitectureSpec]:
         """Draw ``count`` architectures, optionally distinct and excluding a set.
 
-        When the space is too small to honour the uniqueness constraints the
-        returned list is simply shorter than requested.
+        Encodings are drawn in vectorised batches (one ``rng.integers`` call
+        per encoding position per round, rather than one ``rng.choice`` per
+        position per candidate), which keeps the per-iteration candidate-pool
+        refill off the optimizer's critical path.  When the space is too small
+        to honour the uniqueness constraints the returned list is simply
+        shorter than requested.
         """
+        if count < 1:
+            return []
         rng = default_rng(rng)
-        exclude = set(exclude or ())
+        choices = self._position_choices()
         results: List[ArchitectureSpec] = []
-        seen = set(exclude)
+        seen = set(exclude or ())
         attempts = 0
         max_attempts = max(100, 50 * count)
         while len(results) < count and attempts < max_attempts:
-            attempts += 1
-            candidate = self.sample(rng)
-            key = candidate.encode().tobytes()
-            if unique and key in seen:
-                continue
-            seen.add(key)
-            results.append(candidate)
+            draw = min(count - len(results), max_attempts - attempts)
+            attempts += draw
+            columns = [allowed[rng.integers(0, len(allowed), size=draw)] for allowed in choices]
+            encodings = np.stack(columns, axis=1)  # (draw, num_positions)
+            for row in encodings:
+                key = row.tobytes()
+                if unique and key in seen:
+                    continue
+                seen.add(key)
+                results.append(self._spec_from_encoding(row))
+                if len(results) >= count:
+                    break
         return results
 
     def enumerate(self, limit: Optional[int] = None) -> Iterator[ArchitectureSpec]:

@@ -17,12 +17,13 @@ and has a smaller run-to-run spread.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bayes_opt import BayesianOptimizer, OptimizationHistory
+from repro.core.cache import CachedObjective, dataset_fingerprint_fields, evaluation_store_for
 from repro.core.objectives import AccuracyDropObjective
 from repro.core.random_search import RandomSearch
 from repro.core.weight_sharing import WeightStore
@@ -97,14 +98,9 @@ class Figure3Result:
         return self.bo_curve.final_mean() >= self.rs_curve.final_mean() - 1e-12
 
 
-def _make_objective(
-    template,
-    splits: DatasetSplits,
-    scale: ExperimentScale,
-    seed: int,
-    weight_sharing: bool,
-) -> AccuracyDropObjective:
-    training = SNNTrainingConfig(
+def _training_config(scale: ExperimentScale, seed: int) -> SNNTrainingConfig:
+    """Candidate fine-tune configuration (also fingerprinted for the cache)."""
+    return SNNTrainingConfig(
         epochs=scale.candidate_finetune_epochs,
         batch_size=scale.batch_size,
         learning_rate=scale.learning_rate,
@@ -113,6 +109,16 @@ def _make_objective(
         num_steps=scale.num_steps,
         seed=seed,
     )
+
+
+def _make_objective(
+    template,
+    splits: DatasetSplits,
+    scale: ExperimentScale,
+    seed: int,
+    weight_sharing: bool,
+) -> AccuracyDropObjective:
+    training = _training_config(scale, seed)
     store = WeightStore() if weight_sharing else None
     return AccuracyDropObjective(
         template=template,
@@ -132,12 +138,20 @@ def run_figure3(
     num_runs: Optional[int] = None,
     iterations: Optional[int] = None,
     seed: int = 0,
+    cache_dir: Optional[str] = None,
 ) -> Figure3Result:
     """Run the BO-vs-random-search comparison.
 
     ``iterations`` is the total number of architecture evaluations granted to
     each method per run (the paper plots up to 140; the default scale uses a
-    CPU-friendly budget).
+    CPU-friendly budget).  With ``cache_dir`` set, every candidate evaluation
+    is persisted to a per-(method, run seed, config) JSONL store under that
+    directory and re-used by later runs (each method writes its own file
+    because weight sharing makes their evaluation semantics differ).  Caveat
+    for the weight-sharing BO method: a *partial* store hit replays the
+    cached prefix without warming the run's ``WeightStore``, so extending a
+    cached run with a larger ``iterations`` budget evaluates the fresh tail
+    from colder weights than an uncached run would (see ROADMAP open items).
     """
     scale = scale or get_scale()
     num_runs = num_runs if num_runs is not None else scale.figure3_runs
@@ -154,7 +168,24 @@ def run_figure3(
     for run_index in range(num_runs):
         run_seed = seed + run_index
 
+        bo_store = rs_store = None
+        if cache_dir is not None:
+            # one store per run seed, method and evaluation config: evaluations
+            # from a differently-seeded run are not comparable (different
+            # weight init), and reusing them would collapse the run-to-run
+            # variance this figure reports
+            fingerprint = dict(
+                seed=run_seed,
+                training=asdict(_training_config(scale, run_seed)),
+                **dataset_fingerprint_fields(splits),
+            )
+            name = ["figure3", splits.name, template.name]
+            bo_store = evaluation_store_for(cache_dir, name + ["bo"], **fingerprint)
+            rs_store = evaluation_store_for(cache_dir, name + ["rs"], **fingerprint)
+
         bo_objective = _make_objective(template, splits, scale, run_seed, weight_sharing=True)
+        if bo_store is not None:
+            bo_objective = CachedObjective(bo_objective, store=bo_store)
         initial = min(scale.bo_initial_points, max(1, iterations // 3))
         bo = BayesianOptimizer(
             space,
@@ -169,6 +200,8 @@ def run_figure3(
         result.histories.append(bo_history)
 
         rs_objective = _make_objective(template, splits, scale, run_seed, weight_sharing=False)
+        if rs_store is not None:
+            rs_objective = CachedObjective(rs_objective, store=rs_store)
         rs = RandomSearch(space, rs_objective, rng=run_seed + 1000)
         rs_history = rs.optimize(iterations)
         result.rs_curve.runs.append(rs_history.incumbent_accuracies())

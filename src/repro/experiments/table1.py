@@ -125,8 +125,14 @@ def run_table1_cell(
     splits: Optional[DatasetSplits] = None,
     seed: int = 0,
     workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> AdaptationResult:
-    """Run the adaptation pipeline for a single (dataset, model) pair."""
+    """Run the adaptation pipeline for a single (dataset, model) pair.
+
+    ``cache_dir`` enables the persistent evaluation store: BO candidate
+    evaluations are written to disk and re-used by any later run sharing the
+    directory.
+    """
     scale = scale or get_scale()
     if splits is None:
         splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
@@ -135,6 +141,7 @@ def run_table1_cell(
         model, **model_kwargs(scale, model, input_channels=input_channels, num_classes=splits.num_classes)
     )
     config = _adaptation_config(scale, dataset, seed, workers)
+    config.cache_dir = cache_dir
     adapter = SNNAdapter(template, splits, config)
     return adapter.run()
 
@@ -145,6 +152,7 @@ def run_table1(
     models: Sequence[str] = DEFAULT_MODELS,
     seed: int = 0,
     workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Table1Result:
     """Run the full Table-I grid (datasets x models)."""
     scale = scale or get_scale()
@@ -152,7 +160,9 @@ def run_table1(
     for dataset in datasets:
         splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
         for model in models:
-            result = run_table1_cell(dataset, model, scale=scale, splits=splits, seed=seed, workers=workers)
+            result = run_table1_cell(
+                dataset, model, scale=scale, splits=splits, seed=seed, workers=workers, cache_dir=cache_dir
+            )
             table.results.append(result)
             table.rows.append(Table1Row.from_result(dataset, model, result))
     return table

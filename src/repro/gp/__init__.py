@@ -14,7 +14,7 @@ function.  This package provides the required machinery:
 """
 
 from repro.gp.kernels import HammingKernel, Kernel, Matern52Kernel, RBFKernel
-from repro.gp.gp import GaussianProcessRegressor
+from repro.gp.gp import FantasizedPosterior, GaussianProcessRegressor
 from repro.gp.acquisition import (
     AcquisitionFunction,
     ExpectedImprovement,
@@ -28,6 +28,7 @@ __all__ = [
     "Kernel",
     "Matern52Kernel",
     "RBFKernel",
+    "FantasizedPosterior",
     "GaussianProcessRegressor",
     "AcquisitionFunction",
     "ExpectedImprovement",

@@ -43,10 +43,25 @@ class Kernel:
         """Return the ``(len(x1), len(x2))`` covariance matrix."""
         raise NotImplementedError
 
+    #: row-block width used by the generic :meth:`diag` fallback
+    _DIAG_BLOCK = 128
+
     def diag(self, x: np.ndarray) -> np.ndarray:
-        """Return the diagonal of ``k(x, x)`` without building the full matrix."""
+        """Return the diagonal of ``k(x, x)`` without building the full matrix.
+
+        Generic fallback for kernels that do not override this: evaluates the
+        kernel on row blocks and extracts each block's diagonal, so the work is
+        O(n * block) inside vectorised NumPy calls instead of a per-row Python
+        loop (the stationary kernels below override it with true O(n)
+        implementations).
+        """
         x = _as_2d(x)
-        return np.array([self(row[None, :], row[None, :])[0, 0] for row in x])
+        n = x.shape[0]
+        out = np.empty(n)
+        for start in range(0, n, self._DIAG_BLOCK):
+            block = x[start : start + self._DIAG_BLOCK]
+            out[start : start + self._DIAG_BLOCK] = np.diagonal(self(block, block))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         params = ", ".join(f"{k}={v}" for k, v in vars(self).items())
