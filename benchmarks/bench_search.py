@@ -1,7 +1,7 @@
 """End-to-end benchmark of the incremental GP search engine.
 
-Two measurements, so the speedup of the incremental engine is a tracked
-number instead of a claim:
+Three measurements, so the speedup of the incremental engine — and the cost
+of the weight-snapshot tier — are tracked numbers instead of claims:
 
 1. **GP posterior update vs. full refit** — time to absorb one new
    observation into an ``n``-point posterior, either by refitting from
@@ -11,6 +11,10 @@ number instead of a claim:
 2. **End-to-end BO iteration throughput** — wall-clock per Bayesian
    optimization iteration on a synthetic objective (batch_size=4,
    constant-liar batches) with the incremental engine on and off.
+3. **Weight-snapshot overhead** — put (content hash + atomic ``.npz``
+   write) and replay (load + merge into a ``WeightStore``) latency of one
+   trained-state snapshot, against the cost of the candidate evaluation it
+   saves on a cache hit (a real tiny fine-tune).
 
 Run standalone::
 
@@ -143,7 +147,75 @@ def bench_bo_iterations(
     return timings
 
 
-def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float]) -> str:
+def bench_snapshot_store(repeats: int) -> Dict[str, float]:
+    """Snapshot put/replay latency vs. the evaluation cost a replay avoids.
+
+    The state is a real trained candidate (single-block template, tiny
+    synthetic event data), so tensor count and sizes match what an adapter
+    run persists; the evaluation cost is the wall-clock of that candidate's
+    one-epoch fine-tune — the work a store hit skips while the snapshot
+    replay keeps its weight updates.
+    """
+    import tempfile
+
+    from repro.core.objectives import AccuracyDropObjective
+    from repro.core.snapshots import WeightSnapshotStore
+    from repro.core.weight_sharing import WeightStore
+    from repro.data import load_dataset
+    from repro.models import build_single_block_template
+    from repro.training.snn_trainer import SNNTrainingConfig
+
+    splits = load_dataset("cifar10-dvs", num_samples=60, image_size=8, num_steps=4, seed=0)
+    template = build_single_block_template(input_channels=2, num_classes=10, channels=4)
+    objective = AccuracyDropObjective(
+        template=template,
+        splits=splits,
+        training_config=SNNTrainingConfig(epochs=1, batch_size=16, num_steps=4, seed=0),
+        weight_store=WeightStore(),
+        measure_firing_rate=False,
+    )
+    spec = template.search_space().default_spec()
+    evaluation_s = _time(lambda: objective(spec), repeats)
+    result = objective(spec)
+    state = result.weight_update.state
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshots = WeightSnapshotStore(tmp, keep_best=max(64, repeats + 1))
+        # content-addressing makes re-putting identical state free, so each
+        # timed put perturbs one tensor to force a full hash + write
+        counter = {"i": 0}
+
+        def put() -> None:
+            counter["i"] += 1
+            perturbed = dict(state)
+            first_key = next(iter(perturbed))
+            perturbed[first_key] = perturbed[first_key] + counter["i"] * 1e-9
+            snapshots.put(perturbed, score=0.5)
+
+        put_s = _time(put, repeats)
+        digest = snapshots.put(state, score=0.9)
+
+        def replay() -> None:
+            loaded = snapshots.get(digest)
+            target = WeightStore()
+            target.update_from_state(loaded, score=0.9, only_if_better=True)
+            target.merge_from_state(loaded)
+
+        replay_s = _time(replay, repeats)
+        snapshot_bytes = snapshots.total_bytes() / max(len(snapshots), 1)
+
+    overhead = (put_s + replay_s) / evaluation_s if evaluation_s > 0 else float("inf")
+    return {
+        "put_ms": put_s * 1e3,
+        "replay_ms": replay_s * 1e3,
+        "evaluation_ms": evaluation_s * 1e3,
+        "overhead_fraction": overhead,
+        "tensors": float(len(state)),
+        "snapshot_bytes": float(snapshot_bytes),
+    }
+
+
+def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float], snap: Dict[str, float]) -> str:
     """Human-readable benchmark report."""
     lines = ["GP posterior: full refit vs incremental update (one new point)"]
     lines.append(f"{'n':>6} {'refit ms':>10} {'update ms':>10} {'speedup':>9}")
@@ -157,6 +229,13 @@ def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float]) -> str:
         f"legacy {bo['legacy_s_per_iter'] * 1e3:.1f} ms/iter, "
         f"incremental {bo['incremental_s_per_iter'] * 1e3:.1f} ms/iter "
         f"({bo['speedup']:.1f}x)"
+    )
+    lines.append("")
+    lines.append(
+        f"Weight snapshots ({int(snap['tensors'])} tensors, {snap['snapshot_bytes'] / 1024:.1f} KiB): "
+        f"put {snap['put_ms']:.2f} ms, replay {snap['replay_ms']:.2f} ms vs "
+        f"evaluation {snap['evaluation_ms']:.1f} ms "
+        f"({100 * snap['overhead_fraction']:.2f}% of the work a cache hit saves)"
     )
     return "\n".join(lines)
 
@@ -175,10 +254,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     gp_rows = bench_gp_update(sizes, repeats=repeats)
     bo = bench_bo_iterations(preseed=preseed, iterations=iterations)
-    print(format_report(gp_rows, bo))
+    snap = bench_snapshot_store(repeats=repeats)
+    print(format_report(gp_rows, bo, snap))
 
     if args.output:
-        payload = {"gp_update": gp_rows, "bo_iterations": bo, "smoke": bool(args.smoke)}
+        payload = {
+            "gp_update": gp_rows,
+            "bo_iterations": bo,
+            "snapshot_store": snap,
+            "smoke": bool(args.smoke),
+        }
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nsaved timings to {args.output}")

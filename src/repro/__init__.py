@@ -43,7 +43,9 @@ from repro.core import (
     RandomSearch,
     SearchSpace,
     SNNAdapter,
+    WeightSnapshotStore,
     WeightStore,
+    WeightUpdate,
 )
 from repro.data import load_dataset
 from repro.models import NeuronConfig, get_template
@@ -71,7 +73,9 @@ __all__ = [
     "RandomSearch",
     "SearchSpace",
     "SNNAdapter",
+    "WeightSnapshotStore",
     "WeightStore",
+    "WeightUpdate",
     "load_dataset",
     "NeuronConfig",
     "get_template",

@@ -47,7 +47,10 @@ def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="directory of the persistent evaluation store; candidate evaluations "
-        "are appended there (JSONL) and re-used by later runs sharing the directory",
+        "are appended there (JSONL) alongside content-addressed weight snapshots, "
+        "and later runs sharing the directory re-use both: cached candidates are "
+        "answered from disk and their weight updates are replayed into the "
+        "shared weight store",
     )
 
 

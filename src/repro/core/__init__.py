@@ -31,7 +31,8 @@ from repro.core.adjacency import (
     connection_name,
 )
 from repro.core.search_space import ArchitectureSpec, BlockSearchInfo, SearchSpace
-from repro.core.weight_sharing import WeightStore
+from repro.core.snapshots import WeightSnapshotStore
+from repro.core.weight_sharing import WeightStore, WeightUpdate
 
 __all__ = [
     "ASC",
@@ -44,6 +45,8 @@ __all__ = [
     "BlockSearchInfo",
     "SearchSpace",
     "WeightStore",
+    "WeightUpdate",
+    "WeightSnapshotStore",
     "AccuracyDropObjective",
     "EnergyAwareObjective",
     "EvaluationResult",
@@ -57,6 +60,7 @@ __all__ = [
     "SNNAdapter",
     "CachedObjective",
     "PersistentEvaluationStore",
+    "snapshot_store_for",
     "FidelitySchedule",
     "MultiFidelityObjective",
     "SuccessiveHalvingSearch",
@@ -81,6 +85,7 @@ _LAZY_EXPORTS = {
     "SNNAdapter": "repro.core.adapter",
     "CachedObjective": "repro.core.cache",
     "PersistentEvaluationStore": "repro.core.cache",
+    "snapshot_store_for": "repro.core.cache",
     "FidelitySchedule": "repro.core.multi_fidelity",
     "MultiFidelityObjective": "repro.core.multi_fidelity",
     "SuccessiveHalvingSearch": "repro.core.multi_fidelity",

@@ -60,12 +60,24 @@ class AdaptationConfig:
     neuron: NeuronConfig = field(default_factory=NeuronConfig)
     #: directory of the persistent evaluation store (None = in-memory only);
     #: candidate evaluations are re-used across runs sharing the directory and
-    #: the same evaluation configuration.  Caveat: a store hit returns the
-    #: recorded objective value but does not replay the candidate's weight
-    #: updates into the shared WeightStore, so a fully-cached search leaves
-    #: the final fine-tune starting from the vanilla-SNN weights (see
-    #: ROADMAP open items for persisting the weight store alongside)
+    #: the same evaluation configuration.  Each evaluation row also references
+    #: a content-addressed weight snapshot (``<store>.weights/<digest>.npz``),
+    #: and a store hit replays that snapshot into the shared WeightStore — so
+    #: a fully- or partially-cached run accumulates the same shared weights
+    #: as the run that originally trained the candidates, and the final
+    #: fine-tune starts warm instead of from the vanilla-SNN weights
     cache_dir: Optional[str] = None
+    #: snapshots kept per evaluation store (best-scoring first); bounds the
+    #: ``.weights`` directory, evicted rows simply replay nothing.  None (the
+    #: default) sizes the budget to the search itself, so every candidate of
+    #: a cached re-run replays warm
+    snapshot_keep: Optional[int] = None
+
+    def snapshot_budget(self) -> int:
+        """Snapshots to keep: explicit cap, or the full evaluation budget."""
+        if self.snapshot_keep is not None:
+            return self.snapshot_keep
+        return max(1, self.bo_initial_points + self.bo_iterations * self.bo_batch_size)
 
     def candidate_training(self) -> SNNTrainingConfig:
         """Training configuration used for BO candidate fine-tuning."""
@@ -188,7 +200,12 @@ class SNNAdapter:
         if config.cache_dir is not None:
             from dataclasses import asdict
 
-            from repro.core.cache import CachedObjective, dataset_fingerprint_fields, evaluation_store_for
+            from repro.core.cache import (
+                CachedObjective,
+                dataset_fingerprint_fields,
+                evaluation_store_for,
+                snapshot_store_for,
+            )
 
             # the store is scoped to the evaluation configuration: objective
             # values depend not only on the candidate fine-tune settings but
@@ -208,7 +225,11 @@ class SNNAdapter:
                 neuron=asdict(config.neuron),
                 **dataset_fingerprint_fields(self.splits),
             )
-            search_objective = CachedObjective(search_objective, store=evaluation_store)
+            search_objective = CachedObjective(
+                search_objective,
+                store=evaluation_store,
+                snapshots=snapshot_store_for(evaluation_store, keep_best=config.snapshot_budget()),
+            )
 
         optimizer = BayesianOptimizer(
             self.template.search_space(),
@@ -218,6 +239,7 @@ class SNNAdapter:
             batch_size=config.bo_batch_size,
             candidate_pool_size=config.bo_candidate_pool,
             workers=config.workers,
+            weight_store=store,
             rng=config.seed,
         )
         history = optimizer.optimize(config.bo_iterations)
@@ -237,10 +259,13 @@ class SNNAdapter:
 
         # never report worse than the vanilla conversion: the default wiring is
         # itself a member of the search space, so the adapter falls back to it
+        # (every reported column then describes the vanilla model, including
+        # its validation accuracy — not a mix of the two models)
         if optimized_test_acc < snn_test_acc:
             optimized_test_acc = snn_test_acc
             final_stats_rate = snn_rate
             best_spec = self.template.default_architecture()
+            optimized_val_acc = snn_val_acc
         else:
             final_stats_rate = final_stats.average_firing_rate
 

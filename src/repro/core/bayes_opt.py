@@ -34,8 +34,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.objectives import EvaluationResult, Objective
+from repro.core.objectives import EvaluationResult, Objective, resolve_weight_context
 from repro.core.search_space import ArchitectureSpec, SearchSpace
+from repro.core.weight_sharing import WeightStore
 from repro.gp.acquisition import AcquisitionFunction, get_acquisition
 from repro.gp.gp import GaussianProcessRegressor
 from repro.gp.kernels import HammingKernel, Kernel
@@ -151,6 +152,17 @@ class BayesianOptimizer:
         every iteration.
     workers:
         Worker processes used to evaluate a proposal batch (1 = sequential).
+        Weight-sharing updates are **result-carried**: each evaluation returns
+        its trained state on the result and the optimizer merges the payloads
+        into the shared :class:`~repro.core.weight_sharing.WeightStore` in the
+        parent after the batch returns, so no update is lost to a worker
+        process (and a batch accumulates identical store contents whatever
+        the worker count).
+    weight_store:
+        The shared store those payloads merge into.  Defaults to the store
+        discovered on the objective itself (walking wrapper chains such as
+        ``CachedObjective(EnergyAwareObjective(AccuracyDropObjective))``);
+        pass it explicitly when the objective is an opaque callable.
     incremental:
         When ``True`` (default) the surrogate persists across iterations and
         new observations extend its Cholesky factor in O(n^2); the
@@ -171,6 +183,7 @@ class BayesianOptimizer:
         include_default: bool = True,
         workers: int = 1,
         incremental: bool = True,
+        weight_store: Optional[WeightStore] = None,
         rng=None,
     ) -> None:
         if initial_points < 1:
@@ -190,6 +203,8 @@ class BayesianOptimizer:
         self.include_default = bool(include_default)
         self.workers = int(workers)
         self.incremental = bool(incremental)
+        self._weight_base, resolved_store = resolve_weight_context(objective)
+        self.weight_store = weight_store if weight_store is not None else resolved_store
         self._rng = default_rng(rng)
         self.history = OptimizationHistory()
         # incremental engine state: the persistent surrogate, how many history
@@ -204,10 +219,30 @@ class BayesianOptimizer:
         self._history_ref = self.history
 
     # ------------------------------------------------------------------
-    def _evaluate(self, specs: Sequence[ArchitectureSpec], iteration: int, source: str) -> List[OptimizationRecord]:
-        results = parallel_map(self.objective, list(specs), workers=self.workers)
+    def _evaluate_batch(self, specs: Sequence[ArchitectureSpec], iteration: int, source: str) -> List[OptimizationRecord]:
+        """Evaluate one proposal batch and merge its weight updates.
+
+        Local store mutation inside the objective is deferred for the
+        duration of the batch: every candidate then trains from the
+        batch-start shared weights (workers become stateless, and worker
+        count cannot change any result), and the trained states returned on
+        the results are merged into :attr:`weight_store` here, in the parent
+        — which is also the only place updates can survive a
+        ``multiprocessing`` child or a persistent-store replay.
+        """
+        defer = self._weight_base is not None and self.weight_store is not None
+        if defer:
+            previous_defer = self._weight_base.defer_updates
+            self._weight_base.defer_updates = True
+        try:
+            results = parallel_map(self.objective, list(specs), workers=self.workers)
+        finally:
+            if defer:
+                self._weight_base.defer_updates = previous_defer
         records = []
         for result in results:
+            if self.weight_store is not None and result.weight_update is not None:
+                result.weight_update.apply(self.weight_store)
             record = OptimizationRecord.from_result(iteration, result, source=source)
             self.history.append(record)
             records.append(record)
@@ -369,7 +404,7 @@ class BayesianOptimizer:
         if num_iterations < 0:
             raise ValueError("num_iterations must be non-negative")
         if not len(self.history):
-            self._evaluate(self._initial_specs(), iteration=0, source="init")
+            self._evaluate_batch(self._initial_specs(), iteration=0, source="init")
             if callback is not None:
                 callback(0, self.history)
         for iteration in range(1, num_iterations + 1):
@@ -377,7 +412,7 @@ class BayesianOptimizer:
             proposals = self._propose_batch(surrogate, iteration)
             if not proposals:
                 break
-            self._evaluate(proposals, iteration=iteration, source="bo")
+            self._evaluate_batch(proposals, iteration=iteration, source="bo")
             if callback is not None:
                 callback(iteration, self.history)
         return self.history

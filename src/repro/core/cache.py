@@ -17,10 +17,18 @@ can safely share one store, and a torn trailing line from a crashed run is
 skipped on load instead of poisoning the file.  Plug a store into
 :class:`CachedObjective` (or pass ``--cache-dir`` to the CLI) and evaluations
 survive the process: a later run hits the store instead of re-training.
+
+Pair the store with a :class:`~repro.core.snapshots.WeightSnapshotStore`
+(:func:`snapshot_store_for`) and hits also restore the *weight-sharing* state:
+each row references the content-addressed snapshot of the candidate's trained
+weights, replayed into the shared
+:class:`~repro.core.weight_sharing.WeightStore` on a hit so cached runs stay
+as warm as uncached ones.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -29,8 +37,10 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.objectives import EvaluationResult, Objective
+from repro.core.objectives import EvaluationResult, Objective, resolve_weight_context
 from repro.core.search_space import ArchitectureSpec, SearchSpace
+from repro.core.snapshots import DEFAULT_KEEP_BEST, WeightSnapshotStore
+from repro.core.weight_sharing import WeightUpdate
 
 
 def spec_key(spec: ArchitectureSpec) -> str:
@@ -78,6 +88,74 @@ def evaluation_store_for(cache_dir, name_parts, **config) -> "PersistentEvaluati
     tag = config_fingerprint(**config)
     filename = "-".join([str(part) for part in name_parts] + [tag]) + ".jsonl"
     return PersistentEvaluationStore(Path(cache_dir) / filename)
+
+
+def snapshot_store_for(
+    store: PersistentEvaluationStore, keep_best: int = DEFAULT_KEEP_BEST
+) -> WeightSnapshotStore:
+    """Open the weight-snapshot directory paired with an evaluation store.
+
+    The directory sits next to the store's ``.jsonl`` file and inherits its
+    name — including the configuration fingerprint — so snapshots are scoped
+    exactly like the evaluation rows that reference them.
+    """
+    return WeightSnapshotStore(store.path.with_suffix(".weights"), keep_best=keep_best)
+
+
+def persist_weight_snapshot(
+    snapshots: Optional[WeightSnapshotStore], result: EvaluationResult, row: Dict[str, object]
+) -> None:
+    """Write the result's trained state to ``snapshots`` and reference it from ``row``.
+
+    Shared by every store writer (:class:`CachedObjective`,
+    :class:`~repro.core.multi_fidelity.MultiFidelityObjective`), so the row
+    reference format cannot drift between them.  No-op without a snapshot
+    store or a weight payload.
+    """
+    if snapshots is None or result.weight_update is None:
+        return
+    digest = snapshots.put(result.weight_update.state, score=result.weight_update.score)
+    result.weight_update.snapshot = digest
+    row["weights"] = {"snapshot": digest, "score": result.weight_update.score}
+
+
+def replay_weight_snapshot(
+    snapshots: Optional[WeightSnapshotStore],
+    row: Dict[str, object],
+    result: EvaluationResult,
+    base,
+    weight_store,
+) -> None:
+    """Rebuild the weight payload referenced by a stored row.
+
+    Mirrors a live evaluation: the payload is attached to ``result`` for the
+    orchestrator, and applied to ``weight_store`` directly when ``base`` is
+    not operating in deferred mode (i.e. when a live evaluation would also
+    have applied it locally).  A missing or evicted snapshot replays nothing
+    — the cached value is still valid, the run is merely as cold as it was
+    before snapshots existed.
+    """
+    if snapshots is None:
+        return
+    reference = row.get("weights")
+    if not isinstance(reference, dict) or "snapshot" not in reference:
+        return
+    state = snapshots.get(str(reference["snapshot"]))
+    if state is None:
+        return
+    score = reference.get("score")
+    result.weight_update = WeightUpdate(
+        state=state,
+        score=float(score) if score is not None else None,
+        snapshot=str(reference["snapshot"]),
+    )
+    if (
+        base is not None
+        and weight_store is not None
+        and getattr(base, "update_store", True)
+        and not getattr(base, "defer_updates", False)
+    ):
+        result.weight_update.apply(weight_store)
 
 
 def result_to_row(result: EvaluationResult) -> Dict[str, object]:
@@ -229,18 +307,43 @@ class CachedObjective(Objective):
     evaluated, and fresh evaluations are appended to the store — so the cache
     outlives the process and is shared by every search strategy pointed at the
     same path.
+
+    With a :class:`~repro.core.snapshots.WeightSnapshotStore` also attached,
+    the trained state each evaluation carries (``result.weight_update``) is
+    persisted as a content-addressed snapshot and referenced from the row; a
+    later store hit then *replays* the snapshot — restoring the payload on the
+    result and, unless the wrapped objective defers updates to its
+    orchestrator, applying it to the shared weight store — so a fully- or
+    partially-cached run accumulates the same shared weights as the run that
+    originally paid for the evaluations.
     """
 
     def __init__(
         self,
         objective: Objective | Callable[[ArchitectureSpec], EvaluationResult],
         store: Optional[PersistentEvaluationStore] = None,
+        snapshots: Optional[WeightSnapshotStore] = None,
     ) -> None:
         self.objective = objective
         self.store = store
+        self.snapshots = snapshots
         self._cache: Dict[str, EvaluationResult] = {}
         self.hits = 0
         self.misses = 0
+
+    def _remember(self, key: str, result: EvaluationResult) -> None:
+        """Cache the result without its weight payload.
+
+        By the time a result is memoised its update has already reached the
+        store (applied locally or merged by the orchestrator), so keeping the
+        full state dict would only grow resident memory per candidate — and,
+        with ``workers > 1``, be re-pickled into every later batch's worker
+        dispatch.  An in-memory hit therefore (as before snapshots existed)
+        returns the outcome only.
+        """
+        if result.weight_update is not None:
+            result = dataclasses.replace(result, weight_update=None)
+        self._cache[key] = result
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
         key = spec_key(spec)
@@ -251,14 +354,18 @@ class CachedObjective(Objective):
             row = self.store.get(key)
             if row is not None:
                 result = row_to_result(row, spec)
-                self._cache[key] = result
+                base, weight_store = resolve_weight_context(self.objective)
+                replay_weight_snapshot(self.snapshots, row, result, base, weight_store)
+                self._remember(key, result)
                 self.hits += 1
                 return result
         self.misses += 1
         result = self.objective(spec)
-        self._cache[key] = result
+        self._remember(key, result)
         if self.store is not None:
-            self.store.put(key, result_to_row(result))
+            row = result_to_row(result)
+            persist_weight_snapshot(self.snapshots, result, row)
+            self.store.put(key, row)
         return result
 
     # ------------------------------------------------------------------

@@ -88,15 +88,21 @@ class MultiFidelityObjective(Objective):
     A :class:`~repro.core.cache.PersistentEvaluationStore` can be attached;
     entries are then keyed by ``<spec_key>@epochs=<n>`` so results at
     different fidelities never collide, while still sharing the same backing
-    file as the single-fidelity searches.  Caveat: a store hit skips the
-    fine-tune entirely, so when the base objective uses a shared
-    :class:`~repro.core.weight_sharing.WeightStore` the hit does not replay
-    the candidate's weight updates (see ROADMAP open items).
+    file as the single-fidelity searches.  With a
+    :class:`~repro.core.snapshots.WeightSnapshotStore` also attached
+    (``snapshots``), each evaluation's trained state is persisted under that
+    fidelity-qualified row and *replayed* on a store hit: the payload is
+    restored on the result and — unless the base objective defers updates to
+    an orchestrator — applied to the base's shared
+    :class:`~repro.core.weight_sharing.WeightStore`, so a cached
+    successive-halving run promotes candidates from the same warm weights as
+    an uncached one.
     """
 
-    def __init__(self, base: AccuracyDropObjective, store=None) -> None:
+    def __init__(self, base: AccuracyDropObjective, store=None, snapshots=None) -> None:
         self.base = base
         self.store = store
+        self.snapshots = snapshots
         self._original_epochs = base.training_config.epochs
 
     @staticmethod
@@ -119,11 +125,15 @@ class MultiFidelityObjective(Objective):
         if epochs <= 0:
             raise ValueError(f"epochs must be positive, got {epochs}")
         if self.store is not None:
-            from repro.core.cache import row_to_result
+            from repro.core.cache import replay_weight_snapshot, row_to_result
 
             row = self.store.get(self.fidelity_key(spec, epochs))
             if row is not None:
-                return row_to_result(row, spec)
+                result = row_to_result(row, spec)
+                replay_weight_snapshot(
+                    self.snapshots, row, result, self.base, self.base.weight_store
+                )
+                return result
         original = self.base.training_config
         self.base.training_config = replace(original, epochs=int(epochs))
         try:
@@ -132,9 +142,11 @@ class MultiFidelityObjective(Objective):
             self.base.training_config = original
         result.extra["fidelity_epochs"] = float(epochs)
         if self.store is not None:
-            from repro.core.cache import result_to_row
+            from repro.core.cache import persist_weight_snapshot, result_to_row
 
-            self.store.put(self.fidelity_key(spec, epochs), result_to_row(result))
+            row = result_to_row(result)
+            persist_weight_snapshot(self.snapshots, result, row)
+            self.store.put(self.fidelity_key(spec, epochs), row)
         return result
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:

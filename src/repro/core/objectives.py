@@ -11,12 +11,12 @@ optimizers (BO, random search) stay agnostic of models and data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.search_space import ArchitectureSpec
-from repro.core.weight_sharing import WeightStore
+from repro.core.weight_sharing import WeightStore, WeightUpdate
 from repro.data.loaders import DatasetSplits
 from repro.models.blocks import NeuronConfig
 from repro.models.template import NetworkTemplate
@@ -28,7 +28,15 @@ from repro.tensor.random import default_rng
 
 @dataclass
 class EvaluationResult:
-    """Outcome of evaluating one candidate architecture."""
+    """Outcome of evaluating one candidate architecture.
+
+    ``weight_update`` optionally carries the candidate's trained state (a
+    :class:`~repro.core.weight_sharing.WeightUpdate`): evaluation is then free
+    of hidden side effects, and whoever orchestrates it — the Bayesian
+    optimizer after a parallel batch, a cache replaying a snapshot — applies
+    the update to the shared :class:`~repro.core.weight_sharing.WeightStore`
+    in the parent process.
+    """
 
     spec: ArchitectureSpec
     objective_value: float
@@ -37,6 +45,7 @@ class EvaluationResult:
     macs: float = 0.0
     history: Optional[TrainingHistory] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    weight_update: Optional[WeightUpdate] = None
 
     def __post_init__(self) -> None:
         self.objective_value = float(self.objective_value)
@@ -80,7 +89,13 @@ class AccuracyDropObjective(Objective):
     weight_store:
         Optional shared-weight store.  When provided each candidate starts
         from the shared weights and, if ``update_store`` is enabled, the store
-        is refreshed from the best candidate so far.
+        is refreshed from the best candidate so far.  The trained state also
+        rides back on the result as ``weight_update``, so orchestrators that
+        evaluate in worker processes (where a local store mutation would be
+        lost) can merge it in the parent; setting :attr:`defer_updates`
+        disables the local mutation entirely, making evaluation side-effect
+        free (the orchestrator then owns every store update, and evaluation
+        order within a batch cannot influence results).
     measure_firing_rate / measure_macs:
         Record spiking statistics / MAC counts for every candidate (needed by
         the energy-aware objective and by the Table-I report).
@@ -110,6 +125,9 @@ class AccuracyDropObjective(Objective):
         self.measure_macs = bool(measure_macs)
         self.build_seed = int(build_seed)
         self.num_evaluations = 0
+        #: when True the objective never mutates ``weight_store`` itself; the
+        #: trained state only travels back via ``EvaluationResult.weight_update``
+        self.defer_updates = False
 
     # ------------------------------------------------------------------
     def build_model(self, spec: ArchitectureSpec):
@@ -149,9 +167,13 @@ class AccuracyDropObjective(Objective):
                 sample = sample[:, 0]
             macs = MACCounter(model).count(sample).total
 
+        weight_update = None
         if self.weight_store is not None and self.update_store:
-            self.weight_store.update_from(model, score=accuracy, only_if_better=True)
-            self.weight_store.merge_from(model)
+            # state_dict() copies, so the payload is a frozen snapshot of the
+            # fine-tuned weights, not a view into the live model
+            weight_update = WeightUpdate(state=model.state_dict(), score=float(accuracy))
+            if not self.defer_updates:
+                weight_update.apply(self.weight_store)
 
         return EvaluationResult(
             spec=spec,
@@ -161,6 +183,7 @@ class AccuracyDropObjective(Objective):
             macs=macs,
             history=history,
             extra={"num_skips": float(spec.total_skips())},
+            weight_update=weight_update,
         )
 
 
@@ -206,4 +229,72 @@ class EnergyAwareObjective(Objective):
             macs=result.macs,
             history=result.history,
             extra={**result.extra, "penalty": penalty, "raw_objective": result.objective_value},
+            weight_update=result.weight_update,
         )
+
+
+def resolve_weight_context(objective) -> Tuple[Optional[AccuracyDropObjective], Optional[WeightStore]]:
+    """Find the weight-sharing base objective behind a chain of wrappers.
+
+    Orchestrators need two things the objective may hide behind wrappers
+    (:class:`EnergyAwareObjective`, :class:`~repro.core.cache.CachedObjective`,
+    :class:`~repro.core.multi_fidelity.MultiFidelityObjective`): the base
+    objective whose ``defer_updates`` flag controls local store mutation, and
+    the shared :class:`WeightStore` that result-carried updates merge into.
+    Wrappers are followed through their ``objective``/``base`` attributes;
+    returns ``(None, None)`` for opaque callables or store-less objectives.
+    """
+    seen = set()
+    node = objective
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        store = getattr(node, "weight_store", None)
+        if store is not None and hasattr(node, "defer_updates"):
+            return node, store
+        node = getattr(node, "objective", None) or getattr(node, "base", None)
+    return None, None
+
+
+class SyntheticWeightObjective(Objective):
+    """Instant, deterministic objective that still produces weight updates.
+
+    Used by the multiprocessing smoke tests and benchmarks: it is defined at
+    module level (so it pickles under the ``spawn`` start method), costs
+    nothing to evaluate, and derives both its objective value and a synthetic
+    "trained state" purely from the architecture encoding — the result is
+    therefore independent of evaluation order, which is exactly the property
+    the result-carried update path must preserve across worker counts.
+    """
+
+    def __init__(self, weight_store: Optional[WeightStore] = None, state_size: int = 8) -> None:
+        self.weight_store = weight_store
+        self.update_store = True
+        self.defer_updates = False
+        self.state_size = int(state_size)
+        self.num_evaluations = 0
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        self.num_evaluations += 1
+        encoding = spec.encode().astype(np.float64)
+        value = float(np.cos(encoding).sum() / max(len(encoding), 1)) + 0.01 * spec.total_skips()
+        accuracy = 1.0 - value
+        state = {
+            "shared.weight": np.outer(np.arange(1, self.state_size + 1, dtype=np.float64), encoding + 1.0),
+            f"cand.{spec_fingerprint(spec)}.bias": encoding * 0.5,
+        }
+        weight_update = None
+        if self.weight_store is not None and self.update_store:
+            weight_update = WeightUpdate(state=state, score=accuracy)
+            if not self.defer_updates:
+                weight_update.apply(self.weight_store)
+        return EvaluationResult(
+            spec=spec,
+            objective_value=value,
+            accuracy=accuracy,
+            weight_update=weight_update,
+        )
+
+
+def spec_fingerprint(spec: ArchitectureSpec) -> str:
+    """Short stable tag of an architecture encoding (for synthetic state keys)."""
+    return "-".join(str(int(v)) for v in spec.encode())

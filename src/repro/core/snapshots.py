@@ -1,0 +1,215 @@
+"""Disk-backed weight snapshots: the persistence tier of weight sharing.
+
+The persistent evaluation store (:mod:`repro.core.cache`) records *what* an
+architecture scored; this module records the trained weights the evaluation
+produced, so that a later run answering from the cache can also replay the
+candidate's weight updates into its :class:`~repro.core.weight_sharing.WeightStore`
+instead of fine-tuning its final model from cold, vanilla weights.
+
+Snapshots are **content-addressed**: each trained state is written once as
+``<digest>.npz`` (digest over sorted keys, dtypes, shapes and raw bytes), so
+identical states produced by different candidates or repeated runs share one
+file, and a snapshot reference stored in an evaluation row is stable across
+processes.  Writes are atomic (write to a temporary file in the same
+directory, then ``os.replace``), so concurrent runs sharing a cache directory
+can never observe a torn ``.npz``.
+
+Snapshot metadata (score, size) lives in a per-digest ``<digest>.meta.json``
+sidecar rather than one shared index file: every piece of on-disk state is
+then written atomically by exactly one ``os.replace``, so concurrent writers
+— worker-pool children, or two runs sharing a cache directory — cannot drop
+each other's entries, and eviction always sees every snapshot on disk.
+
+The directory is bounded: each store keeps at most ``keep_best`` snapshots,
+ranked by the score recorded at ``put`` time (higher is better, e.g.
+validation accuracy).  Eviction removes the lowest-scoring files; an
+evaluation row whose snapshot was evicted simply replays nothing — the cached
+objective value is still valid, the run is merely a little colder, which is
+exactly the pre-snapshot behaviour.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+#: default per-store snapshot budget (each snapshot is one small .npz file)
+DEFAULT_KEEP_BEST = 32
+
+
+def state_digest(state: Dict[str, np.ndarray]) -> str:
+    """Content digest of a state dict (keys, dtypes, shapes and bytes)."""
+    hasher = hashlib.sha256()
+    for key in sorted(state):
+        value = np.ascontiguousarray(state[key])
+        hasher.update(key.encode("utf-8"))
+        hasher.update(str(value.dtype).encode("utf-8"))
+        hasher.update(str(value.shape).encode("utf-8"))
+        hasher.update(value.tobytes())
+    return hasher.hexdigest()[:16]
+
+
+class WeightSnapshotStore:
+    """Content-addressed ``.npz`` snapshots of trained weight states.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created on first use.  One directory per
+        evaluation store (see :func:`repro.core.cache.snapshot_store_for`),
+        so the evaluation configuration fingerprint embedded in the store's
+        filename also scopes the snapshots.
+    keep_best:
+        Maximum number of snapshots kept; the lowest-scoring ones are evicted
+        first (a snapshot without a score ranks below any scored one).
+    """
+
+    def __init__(self, directory: Union[str, Path], keep_best: int = DEFAULT_KEEP_BEST) -> None:
+        if keep_best < 1:
+            raise ValueError("keep_best must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_best = int(keep_best)
+        self.puts = 0
+        self.replays = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _snapshot_path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.npz"
+
+    def _meta_path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.meta.json"
+
+    def _write_atomically(self, path: Path, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=path.suffix + ".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _read_meta(self, digest: str) -> Dict[str, float]:
+        try:
+            meta = json.loads(self._meta_path(digest).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return meta if isinstance(meta, dict) else {}
+
+    def _scan(self) -> Dict[str, Dict[str, float]]:
+        """Every snapshot currently on disk, with its sidecar metadata.
+
+        Derived from the directory listing (the single source of truth), so
+        snapshots written by concurrent processes are always visible to
+        eviction and accounting.
+        """
+        entries: Dict[str, Dict[str, float]] = {}
+        for path in self.directory.glob("*.npz"):
+            digest = path.stem
+            meta = self._read_meta(digest)
+            if "bytes" not in meta:
+                try:
+                    meta["bytes"] = float(path.stat().st_size)
+                except OSError:  # pragma: no cover - concurrently evicted
+                    continue
+            entries[digest] = meta
+        return entries
+
+    # ------------------------------------------------------------------
+    def put(self, state: Dict[str, np.ndarray], score: Optional[float] = None) -> str:
+        """Persist ``state`` and return its snapshot digest.
+
+        Re-putting identical content is free (the file already exists); the
+        recorded score is the best seen for that content, so a snapshot
+        shared by several rows is ranked by its strongest use.
+        """
+        digest = state_digest(state)
+        path = self._snapshot_path(digest)
+        if not path.exists():
+            self._write_atomically(path, lambda handle: np.savez(handle, **state))
+        try:
+            size = float(path.stat().st_size)
+        except OSError:
+            # a concurrent store evicted this digest between our existence
+            # check and the stat; re-write it — this put is its newest use
+            self._write_atomically(path, lambda handle: np.savez(handle, **state))
+            size = float(path.stat().st_size)
+        meta = self._read_meta(digest)
+        previous = meta.get("score")
+        if score is not None:
+            meta["score"] = float(score) if previous is None else max(float(previous), float(score))
+        meta["tensors"] = float(len(state))
+        meta["bytes"] = size
+        payload = json.dumps(meta).encode("utf-8")
+        self._write_atomically(self._meta_path(digest), lambda handle: handle.write(payload))
+        self._evict()
+        self.puts += 1
+        return digest
+
+    def get(self, digest: str) -> Optional[Dict[str, np.ndarray]]:
+        """Load the snapshot ``digest`` (``None`` if missing/evicted/corrupt)."""
+        path = self._snapshot_path(digest)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                state = {key: np.array(archive[key]) for key in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile):  # pragma: no cover - torn external writer
+            return None
+        self.replays += 1
+        return state
+
+    def _evict(self) -> None:
+        """Drop the lowest-scoring snapshots beyond the ``keep_best`` budget."""
+        entries = self._scan()
+        if len(entries) <= self.keep_best:
+            return
+        ranked = sorted(
+            entries,
+            key=lambda digest: (
+                entries[digest].get("score") is not None,
+                entries[digest].get("score", float("-inf")),
+            ),
+        )
+        for digest in ranked[: len(entries) - self.keep_best]:
+            for path in (self._snapshot_path(digest), self._meta_path(digest)):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - already removed by another run
+                    pass
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._scan())
+
+    def __contains__(self, digest: str) -> bool:
+        return self._snapshot_path(digest).exists()
+
+    def digests(self) -> List[str]:
+        """Digests of every stored snapshot."""
+        return list(self._scan())
+
+    def total_bytes(self) -> int:
+        """Disk footprint of the stored snapshots."""
+        return int(sum(entry.get("bytes", 0.0) for entry in self._scan().values()))
+
+    def stats(self) -> Dict[str, float]:
+        """Usage counters plus the store size."""
+        return {
+            "snapshots": float(len(self)),
+            "puts": float(self.puts),
+            "replays": float(self.replays),
+            "evictions": float(self.evictions),
+            "bytes": float(self.total_bytes()),
+        }

@@ -23,7 +23,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.bayes_opt import BayesianOptimizer, OptimizationHistory
-from repro.core.cache import CachedObjective, dataset_fingerprint_fields, evaluation_store_for
+from repro.core.cache import (
+    CachedObjective,
+    dataset_fingerprint_fields,
+    evaluation_store_for,
+    snapshot_store_for,
+)
 from repro.core.objectives import AccuracyDropObjective
 from repro.core.random_search import RandomSearch
 from repro.core.weight_sharing import WeightStore
@@ -147,11 +152,11 @@ def run_figure3(
     CPU-friendly budget).  With ``cache_dir`` set, every candidate evaluation
     is persisted to a per-(method, run seed, config) JSONL store under that
     directory and re-used by later runs (each method writes its own file
-    because weight sharing makes their evaluation semantics differ).  Caveat
-    for the weight-sharing BO method: a *partial* store hit replays the
-    cached prefix without warming the run's ``WeightStore``, so extending a
-    cached run with a larger ``iterations`` budget evaluates the fresh tail
-    from colder weights than an uncached run would (see ROADMAP open items).
+    because weight sharing makes their evaluation semantics differ).  For the
+    weight-sharing BO method the store also persists each evaluation's weight
+    snapshot, and a hit replays it into the run's ``WeightStore`` — so
+    extending a cached run with a larger ``iterations`` budget evaluates the
+    fresh tail from the same warm weights as an uncached run.
     """
     scale = scale or get_scale()
     num_runs = num_runs if num_runs is not None else scale.figure3_runs
@@ -185,7 +190,15 @@ def run_figure3(
 
         bo_objective = _make_objective(template, splits, scale, run_seed, weight_sharing=True)
         if bo_store is not None:
-            bo_objective = CachedObjective(bo_objective, store=bo_store)
+            # snapshots only matter for the weight-sharing method; random
+            # search trains from scratch so its results carry no weight state.
+            # keep_best covers the full evaluation budget so the warm-equality
+            # guarantee of a cached re-run holds for every candidate
+            bo_objective = CachedObjective(
+                bo_objective,
+                store=bo_store,
+                snapshots=snapshot_store_for(bo_store, keep_best=max(iterations, 1)),
+            )
         initial = min(scale.bo_initial_points, max(1, iterations // 3))
         bo = BayesianOptimizer(
             space,

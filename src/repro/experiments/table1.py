@@ -130,8 +130,10 @@ def run_table1_cell(
     """Run the adaptation pipeline for a single (dataset, model) pair.
 
     ``cache_dir`` enables the persistent evaluation store: BO candidate
-    evaluations are written to disk and re-used by any later run sharing the
-    directory.
+    evaluations are written to disk — each with a content-addressed snapshot
+    of the candidate's trained weights — and re-used by any later run sharing
+    the directory, which replays the snapshots into its shared weight store
+    so the final fine-tune starts warm even on a fully-cached run.
     """
     scale = scale or get_scale()
     if splits is None:

@@ -7,19 +7,33 @@ processes with :mod:`multiprocessing`; with ``workers <= 1`` (the default used
 by the tests and by single-core CI machines) evaluation degrades gracefully to
 a sequential loop with identical results.
 
-The implementation uses ``multiprocessing.get_context("spawn")`` when forking
-is unavailable and falls back to sequential execution if the pool cannot be
-created at all (sandboxed environments), so callers never have to care.
+Fallback to sequential execution happens only for *infrastructure* problems
+established before any work runs: the workload cannot be pickled for shipment
+to workers, or the pool itself cannot be created (sandboxed environments).
+An exception raised by ``func`` during evaluation propagates to the caller —
+silently re-running the whole batch sequentially would double its cost and
+mask the real bug.
+
+The start method defaults to ``fork`` where available (cheapest, shares the
+parent's loaded datasets) and can be forced with the
+``REPRO_MP_START_METHOD`` environment variable (``fork``/``spawn``/
+``forkserver``) — CI uses ``spawn`` to prove the workload survives a fresh
+interpreter.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import pickle
+import weakref
+from typing import Callable, List, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: environment variable forcing the multiprocessing start method
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
 
 def default_worker_count() -> int:
@@ -31,31 +45,63 @@ def default_worker_count() -> int:
     return max(1, cores - 1)
 
 
+def start_method() -> str:
+    """The configured multiprocessing start method."""
+    method = os.environ.get(START_METHOD_ENV)
+    if method:
+        return method
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+#: funcs already probed for picklability; an objective is pickled by the pool
+#: on every batch anyway, so the probe result is worth remembering (the func
+#: object — e.g. a CachedObjective holding the dataset — can be large)
+_PICKLABLE_FUNCS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _workload_is_picklable(func, items) -> bool:
+    """Whether ``func`` and ``items`` can be shipped to worker processes."""
+    try:
+        known = _PICKLABLE_FUNCS.get(func)
+    except TypeError:  # unhashable/unweakrefable func
+        known = None
+    if known is None:
+        try:
+            pickle.dumps(func)
+            known = True
+        except Exception:  # noqa: BLE001 - any serialisation failure means "cannot ship"
+            known = False
+        try:
+            _PICKLABLE_FUNCS[func] = known
+        except TypeError:
+            pass
+    if not known:
+        return False
+    try:
+        pickle.dumps(items)
+    except Exception:  # noqa: BLE001
+        return False
+    return True
+
+
 def parallel_map(func: Callable[[T], R], items: Sequence[T], workers: int = 1) -> List[R]:
     """Apply ``func`` to every item, optionally across worker processes.
 
-    Results preserve the input order.  ``func`` and ``items`` must be
-    picklable when ``workers > 1``; if the pool cannot be created (restricted
-    environments) the function silently falls back to sequential execution so
-    that experiments always complete.
+    Results preserve the input order.  Sequential fallback happens only when
+    the workload is unpicklable or the pool cannot be created; exceptions
+    raised *by* ``func`` always propagate, with any worker count.  An invalid
+    ``REPRO_MP_START_METHOD`` raises instead of degrading silently — a
+    misconfigured run must not masquerade as a multiprocessing one.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        context = multiprocessing.get_context("spawn")
-    fallback_errors = (OSError, PermissionError) + pickle_error_types()
-    try:
-        with context.Pool(processes=min(workers, len(items))) as pool:
-            return pool.map(func, items)
-    except fallback_errors:  # pragma: no cover - sandbox fallback
+    if not _workload_is_picklable(func, items):
         return [func(item) for item in items]
-
-
-def pickle_error_types() -> tuple:
-    """Exception types indicating the workload cannot be shipped to workers."""
-    import pickle
-
-    return (pickle.PicklingError, AttributeError, TypeError)
+    context = multiprocessing.get_context(start_method())
+    try:
+        pool = context.Pool(processes=min(workers, len(items)))
+    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
+        return [func(item) for item in items]
+    with pool:
+        return pool.map(func, items)

@@ -1,0 +1,403 @@
+"""Weight-sharing state must survive cache hits and parallel workers.
+
+The paper's search is only cheap because candidates inherit shared weights, so
+two propagation paths are load-bearing and covered here:
+
+* **cache hits** — a :class:`PersistentEvaluationStore` hit replays the
+  candidate's weight snapshot into the run's :class:`WeightStore`, so a
+  fully-cached run accumulates the same shared weights (and the final
+  fine-tune starts from the same warm state) as the run that originally paid
+  for the evaluations;
+* **parallel workers** — weight updates are result-carried and merged by the
+  optimizer in the parent process, so a ``workers=2`` search accumulates the
+  same store contents as the equivalent sequential one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bayes_opt import BayesianOptimizer
+from repro.core.cache import (
+    CachedObjective,
+    PersistentEvaluationStore,
+    snapshot_store_for,
+)
+from repro.core.objectives import (
+    AccuracyDropObjective,
+    EnergyAwareObjective,
+    SyntheticWeightObjective,
+    resolve_weight_context,
+)
+from repro.core.search_space import BlockSearchInfo, SearchSpace
+from repro.core.snapshots import WeightSnapshotStore, state_digest
+from repro.core.weight_sharing import WeightStore, WeightUpdate
+from repro.training.parallel import parallel_map
+from repro.training.snn_trainer import SNNTrainingConfig
+
+
+def make_space(depth: int = 4) -> SearchSpace:
+    return SearchSpace([BlockSearchInfo(depth=depth, name="block")], name="wp-test")
+
+
+def store_state(store: WeightStore) -> dict:
+    return store.state_dict()
+
+
+def assert_stores_equal(first: WeightStore, second: WeightStore) -> None:
+    state_a, state_b = store_state(first), store_state(second)
+    assert sorted(state_a) == sorted(state_b)
+    for key in state_a:
+        np.testing.assert_allclose(state_a[key], state_b[key], err_msg=key)
+
+
+# ----------------------------------------------------------------------
+# module-level functions: picklable under any multiprocessing start method
+# ----------------------------------------------------------------------
+def _raise_value_error(item):
+    raise ValueError(f"objective failed on {item}")
+
+
+def _raise_attribute_error(item):
+    raise AttributeError("raised inside the objective, not by pickling")
+
+
+def _identity(item):
+    return item
+
+
+class TestWeightSnapshotStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = WeightSnapshotStore(tmp_path / "snaps")
+        state = {"layer.weight": np.arange(6, dtype=np.float64).reshape(2, 3), "buffer::bn.mean": np.zeros(3)}
+        digest = store.put(state, score=0.5)
+        assert digest in store
+        loaded = store.get(digest)
+        assert sorted(loaded) == sorted(state)
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_content_addressing_deduplicates(self, tmp_path):
+        store = WeightSnapshotStore(tmp_path)
+        state = {"w": np.ones((3, 3))}
+        first = store.put(state, score=0.1)
+        second = store.put({"w": np.ones((3, 3))}, score=0.7)
+        assert first == second
+        assert len(store) == 1
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    def test_digest_sensitive_to_content_and_keys(self):
+        base = {"w": np.ones(4)}
+        assert state_digest(base) != state_digest({"w": np.ones(4) * 2})
+        assert state_digest(base) != state_digest({"v": np.ones(4)})
+
+    def test_missing_snapshot_returns_none(self, tmp_path):
+        store = WeightSnapshotStore(tmp_path)
+        assert store.get("deadbeef00000000") is None
+
+    def test_eviction_keeps_best_k(self, tmp_path):
+        store = WeightSnapshotStore(tmp_path, keep_best=2)
+        digests = [store.put({"w": np.full(3, float(i))}, score=float(i)) for i in range(4)]
+        assert len(store) == 2
+        # the two highest-scoring snapshots survive
+        assert store.get(digests[3]) is not None
+        assert store.get(digests[2]) is not None
+        assert store.get(digests[0]) is None
+        assert store.evictions == 2
+
+    def test_store_survives_reopen(self, tmp_path):
+        store = WeightSnapshotStore(tmp_path)
+        digest = store.put({"w": np.ones(2)}, score=0.9)
+        reopened = WeightSnapshotStore(tmp_path)
+        assert digest in reopened
+        np.testing.assert_array_equal(reopened.get(digest)["w"], np.ones(2))
+
+    def test_eviction_sees_concurrent_writers(self, tmp_path):
+        """Metadata is per-snapshot (no shared index), so snapshots written
+        by another store instance — e.g. a worker-pool child — are visible
+        to this instance's accounting and eviction."""
+        writer_a = WeightSnapshotStore(tmp_path, keep_best=2)
+        writer_b = WeightSnapshotStore(tmp_path, keep_best=2)
+        writer_a.put({"w": np.full(3, 1.0)}, score=0.1)
+        writer_b.put({"w": np.full(3, 2.0)}, score=0.2)
+        assert len(writer_a) == 2
+        writer_a.put({"w": np.full(3, 3.0)}, score=0.3)
+        assert len(writer_a) == 2  # b's snapshot was rankable and evictable
+        assert writer_a.total_bytes() > 0
+
+
+class TestWeightStoreCopySemantics:
+    def test_constructor_copies_arrays(self):
+        raw = {"w": np.zeros(3)}
+        store = WeightStore(raw)
+        raw["w"] += 5.0
+        np.testing.assert_array_equal(store.get("w"), np.zeros(3))
+
+    def test_update_from_state_copies(self):
+        state = {"w": np.zeros(3)}
+        store = WeightStore()
+        store.update_from_state(state)
+        state["w"] += 1.0
+        np.testing.assert_array_equal(store.get("w"), np.zeros(3))
+
+    def test_merge_from_state_copies(self):
+        state = {"w": np.zeros(3)}
+        store = WeightStore()
+        store.merge_from_state(state)
+        state["w"] += 1.0
+        np.testing.assert_array_equal(store.get("w"), np.zeros(3))
+
+    def test_update_from_model_is_isolated_from_later_training(self, single_block_template):
+        """In-place training of the source model must not mutate the snapshot."""
+        model = single_block_template.build(
+            single_block_template.default_architecture(), spiking=True, rng=0
+        )
+        store = WeightStore.from_model(model)
+        before = {key: np.array(store.get(key)) for key in store.keys()}
+        for _, param in model.named_parameters():
+            param.data[...] = param.data + 1.0  # simulate an optimizer step
+        for key, value in before.items():
+            np.testing.assert_array_equal(store.get(key), value, err_msg=key)
+
+    def test_weight_update_apply_is_idempotent(self):
+        store = WeightStore()
+        update = WeightUpdate(state={"w": np.ones(3)}, score=0.8)
+        assert update.apply(store) is True
+        snapshot = store_state(store)
+        assert update.apply(store) is False  # same score: only_if_better rejects
+        for key, value in snapshot.items():
+            np.testing.assert_array_equal(store.get(key), value)
+
+
+class TestParallelMapErrorHandling:
+    def test_objective_value_error_propagates_with_workers(self):
+        with pytest.raises(ValueError, match="objective failed"):
+            parallel_map(_raise_value_error, [1, 2], workers=2)
+
+    def test_objective_attribute_error_propagates_with_workers(self):
+        """The old sandbox fallback swallowed AttributeError and silently
+        re-ran the batch sequentially — masking the bug and doubling cost."""
+        with pytest.raises(AttributeError, match="inside the objective"):
+            parallel_map(_raise_attribute_error, [1, 2], workers=2)
+
+    def test_objective_errors_propagate_sequentially(self):
+        with pytest.raises(ValueError):
+            parallel_map(_raise_value_error, [1, 2], workers=1)
+
+    def test_unpicklable_workload_falls_back_to_sequential(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], workers=4) == [2, 3, 4]
+
+    def test_picklable_workload_preserves_order(self):
+        assert parallel_map(_identity, list(range(6)), workers=2) == list(range(6))
+
+    def test_invalid_start_method_raises(self, monkeypatch):
+        """A misconfigured REPRO_MP_START_METHOD must fail loudly, not
+        silently degrade a workers>1 run to sequential execution."""
+        from repro.training.parallel import START_METHOD_ENV
+
+        monkeypatch.setenv(START_METHOD_ENV, "not-a-start-method")
+        with pytest.raises(ValueError):
+            parallel_map(_identity, [1, 2], workers=2)
+
+
+class TestResultCarriedUpdates:
+    def test_direct_call_still_updates_store(self):
+        objective = SyntheticWeightObjective(weight_store=WeightStore())
+        spec = make_space().sample(rng=0)
+        result = objective(spec)
+        assert result.weight_update is not None
+        assert not objective.weight_store.is_empty
+
+    def test_deferred_call_leaves_store_untouched(self):
+        objective = SyntheticWeightObjective(weight_store=WeightStore())
+        objective.defer_updates = True
+        result = objective(make_space().sample(rng=0))
+        assert objective.weight_store.is_empty
+        result.weight_update.apply(objective.weight_store)
+        assert not objective.weight_store.is_empty
+
+    def test_resolve_weight_context_walks_wrappers(self, single_block_template, tiny_dvs_splits):
+        store = WeightStore()
+        base = AccuracyDropObjective(
+            template=single_block_template,
+            splits=tiny_dvs_splits,
+            training_config=SNNTrainingConfig(epochs=1, batch_size=8, num_steps=3),
+            weight_store=store,
+            measure_firing_rate=False,
+        )
+        wrapped = CachedObjective(EnergyAwareObjective(base, firing_rate_weight=0.1))
+        found_base, found_store = resolve_weight_context(wrapped)
+        assert found_base is base and found_store is store
+
+    def test_resolve_weight_context_opaque_callable(self):
+        assert resolve_weight_context(lambda spec: None) == (None, None)
+
+    def test_workers2_matches_workers1_store_accumulation(self):
+        """The acceptance check: worker count must not change what the shared
+        store accumulates (with side-effecting updates, a workers=2 run lost
+        every update to the child processes)."""
+        space = make_space()
+
+        def run(workers: int) -> tuple:
+            objective = SyntheticWeightObjective(weight_store=WeightStore())
+            optimizer = BayesianOptimizer(
+                space,
+                objective,
+                initial_points=4,
+                batch_size=3,
+                candidate_pool_size=12,
+                workers=workers,
+                rng=11,
+            )
+            history = optimizer.optimize(2)
+            assert optimizer.weight_store is objective.weight_store
+            return objective.weight_store, history
+
+        store_seq, history_seq = run(workers=1)
+        store_par, history_par = run(workers=2)
+        assert not store_seq.is_empty
+        assert_stores_equal(store_seq, store_par)
+        values_seq = [record.objective_value for record in history_seq]
+        values_par = [record.objective_value for record in history_par]
+        assert values_par == pytest.approx(values_seq)
+
+
+class TestSnapshotReplayThroughCache:
+    def test_store_hit_replays_into_weight_store(self, tmp_path):
+        space = make_space()
+        spec = space.sample(rng=3)
+        evaluations = PersistentEvaluationStore(tmp_path)
+        snapshots = snapshot_store_for(evaluations)
+
+        warm = SyntheticWeightObjective(weight_store=WeightStore())
+        CachedObjective(warm, store=evaluations, snapshots=snapshots)(spec)
+        assert not warm.weight_store.is_empty
+
+        # a fresh process-equivalent: empty weight store, objective must not run
+        cold = SyntheticWeightObjective(weight_store=WeightStore())
+        cached = CachedObjective(cold, store=evaluations, snapshots=snapshots)
+        result = cached(spec)
+        assert cold.num_evaluations == 0
+        assert result.weight_update is not None
+        assert_stores_equal(warm.weight_store, cold.weight_store)
+
+    def test_fully_cached_search_matches_uncached_weight_store(self, tmp_path):
+        """Adapter-style acceptance check: a warm-store re-run restores the
+        exact WeightStore contents of the original run, so the final
+        fine-tune starts from the same warm weights."""
+        space = make_space()
+
+        def run(tag: str):
+            objective = SyntheticWeightObjective(weight_store=WeightStore())
+            evaluations = PersistentEvaluationStore(tmp_path)
+            cached = CachedObjective(
+                objective, store=evaluations, snapshots=snapshot_store_for(evaluations)
+            )
+            optimizer = BayesianOptimizer(
+                space, cached, initial_points=3, batch_size=2, candidate_pool_size=10, rng=21
+            )
+            optimizer.optimize(2)
+            return objective
+
+        first = run("cold")
+        assert first.num_evaluations > 0
+        second = run("warm")
+        assert second.num_evaluations == 0  # everything answered from disk
+        assert_stores_equal(first.weight_store, second.weight_store)
+
+    def test_fully_cached_training_run_matches_uncached(
+        self, tmp_path, single_block_template, tiny_dvs_splits
+    ):
+        """Same check through the real training objective (slow path, tiny)."""
+        space = single_block_template.search_space()
+
+        def run():
+            seed_model = single_block_template.build(
+                single_block_template.default_architecture(), spiking=True, rng=0
+            )
+            store = WeightStore.from_model(seed_model)
+            objective = AccuracyDropObjective(
+                template=single_block_template,
+                splits=tiny_dvs_splits,
+                training_config=SNNTrainingConfig(epochs=1, batch_size=8, num_steps=3, seed=0),
+                weight_store=store,
+                measure_firing_rate=False,
+            )
+            evaluations = PersistentEvaluationStore(tmp_path)
+            cached = CachedObjective(
+                objective, store=evaluations, snapshots=snapshot_store_for(evaluations)
+            )
+            optimizer = BayesianOptimizer(
+                space, cached, initial_points=2, batch_size=1, candidate_pool_size=6, rng=5
+            )
+            optimizer.optimize(1)
+            return objective
+
+        first = run()
+        assert first.num_evaluations == 3
+        second = run()
+        assert second.num_evaluations == 0
+        assert_stores_equal(first.weight_store, second.weight_store)
+
+    def test_multi_fidelity_hit_replays_snapshot(
+        self, tmp_path, single_block_template, tiny_dvs_splits
+    ):
+        from repro.core.multi_fidelity import MultiFidelityObjective
+
+        def make(store_dir):
+            evaluations = PersistentEvaluationStore(store_dir)
+            base = AccuracyDropObjective(
+                template=single_block_template,
+                splits=tiny_dvs_splits,
+                training_config=SNNTrainingConfig(epochs=1, batch_size=8, num_steps=3, seed=0),
+                weight_store=WeightStore(),
+                measure_firing_rate=False,
+            )
+            return base, MultiFidelityObjective(
+                base, store=evaluations, snapshots=snapshot_store_for(evaluations)
+            )
+
+        spec = single_block_template.search_space().default_spec()
+        warm_base, warm = make(tmp_path)
+        warm.evaluate(spec, epochs=1)
+        assert not warm_base.weight_store.is_empty
+
+        cold_base, cold = make(tmp_path)
+        result = cold.evaluate(spec, epochs=1)
+        assert cold_base.num_evaluations == 0
+        assert result.weight_update is not None
+        assert_stores_equal(warm_base.weight_store, cold_base.weight_store)
+
+
+class TestAdapterFallbackConsistency:
+    def test_vanilla_fallback_resets_validation_accuracy(
+        self, single_block_template, tiny_dvs_splits, monkeypatch
+    ):
+        from repro.core.adapter import AdaptationConfig, SNNAdapter
+
+        config = AdaptationConfig(
+            snn_training=SNNTrainingConfig(epochs=1, batch_size=8, num_steps=3),
+            candidate_finetune_epochs=1,
+            final_finetune_epochs=1,
+            bo_iterations=1,
+            bo_initial_points=2,
+            bo_candidate_pool=4,
+        )
+        adapter = SNNAdapter(single_block_template, tiny_dvs_splits, config)
+        original = adapter.train_vanilla_snn
+
+        def unbeatable_vanilla():
+            model, _test, _val, rate = original()
+            return model, 0.99, 0.97, rate
+
+        monkeypatch.setattr(adapter, "train_vanilla_snn", unbeatable_vanilla)
+        result = adapter.run()
+        # the fallback must report the vanilla model consistently across
+        # every column, including validation accuracy
+        assert result.optimized_accuracy == pytest.approx(0.99)
+        assert result.optimized_val_accuracy == pytest.approx(0.97)
+        assert result.optimized_firing_rate == pytest.approx(result.snn_firing_rate)
+        np.testing.assert_array_equal(
+            result.best_spec.encode(), result.default_spec.encode()
+        )
