@@ -1,6 +1,6 @@
 """End-to-end benchmark of the incremental GP search engine.
 
-Three measurements, so the speedup of the incremental engine — and the cost
+Four measurements, so the speedup of the incremental engine — and the cost
 of the weight-snapshot tier — are tracked numbers instead of claims:
 
 1. **GP posterior update vs. full refit** — time to absorb one new
@@ -15,6 +15,12 @@ of the weight-snapshot tier — are tracked numbers instead of claims:
    write) and replay (load + merge into a ``WeightStore``) latency of one
    trained-state snapshot, against the cost of the candidate evaluation it
    saves on a cache hit (a real tiny fine-tune).
+4. **Async executor vs. batch barrier** — wall-clock per evaluation of the
+   asynchronous engine (``async_workers=N``, no barrier) against the batch
+   path (``workers=N``) on a straggler-skewed synthetic objective, where a
+   minority of candidates are several times slower than the rest: the batch
+   path idles every worker behind each straggler, the async executor keeps
+   them busy.
 
 Run standalone::
 
@@ -56,6 +62,37 @@ class SyntheticObjective(Objective):
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
         self.num_evaluations += 1
+        encoding = spec.encode()
+        value = float(np.cos(encoding).sum() / max(len(encoding), 1)) + 0.01 * spec.total_skips()
+        return EvaluationResult(spec=spec, objective_value=value, accuracy=1.0 - value)
+
+
+class StragglerObjective(Objective):
+    """Synthetic objective with deterministic, encoding-derived stragglers.
+
+    Evaluation cost in real searches is skewed: a candidate with more skip
+    connections builds a bigger model and fine-tunes slower.  This objective
+    reproduces that skew reproducibly — most candidates sleep ``base_ms``,
+    but any whose encoding sum falls on a multiple of ``straggler_every``
+    sleeps ``straggler_ms`` — so the batch path's straggler barrier shows up
+    as measurable idle time.  Module-level and stateless per call, so it
+    pickles under any multiprocessing start method.
+    """
+
+    def __init__(self, base_ms: float = 2.0, straggler_ms: float = 20.0, straggler_every: int = 4) -> None:
+        self.base_ms = float(base_ms)
+        self.straggler_ms = float(straggler_ms)
+        self.straggler_every = int(straggler_every)
+        self.num_evaluations = 0
+
+    def delay_ms(self, spec: ArchitectureSpec) -> float:
+        """The deterministic evaluation cost of one candidate."""
+        total = int(spec.encode().sum())
+        return self.straggler_ms if total % self.straggler_every == 0 else self.base_ms
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        self.num_evaluations += 1
+        time.sleep(self.delay_ms(spec) / 1e3)
         encoding = spec.encode()
         value = float(np.cos(encoding).sum() / max(len(encoding), 1)) + 0.01 * spec.total_skips()
         return EvaluationResult(spec=spec, objective_value=value, accuracy=1.0 - value)
@@ -215,7 +252,59 @@ def bench_snapshot_store(repeats: int) -> Dict[str, float]:
     }
 
 
-def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float], snap: Dict[str, float]) -> str:
+def bench_async_vs_batch(
+    workers: int,
+    iterations: int,
+    initial_points: int = 4,
+    pool_size: int = 48,
+) -> Dict[str, float]:
+    """Wall-clock per evaluation: async executor vs. the batch barrier.
+
+    Both engines run the same budget (``initial_points + iterations *
+    workers`` evaluations, ``batch_size=workers``) against the same
+    straggler-skewed objective; only the execution strategy differs.  The
+    ``ideal_ms_per_eval`` row is the lower bound a perfectly utilised pool
+    could reach (total sleep time divided by the worker count) — the async
+    engine should land close to it, the batch path pays the straggler
+    barrier on top.
+    """
+    timings: Dict[str, float] = {"workers": float(workers), "iterations": float(iterations)}
+    total_delay_ms = 0.0
+    evaluations = 0
+    for label, engine_kwargs in (
+        ("batch", {"workers": workers}),
+        ("async", {"async_workers": workers}),
+    ):
+        space = make_search_space()
+        objective = StragglerObjective()
+        optimizer = BayesianOptimizer(
+            space,
+            objective,
+            initial_points=initial_points,
+            batch_size=workers,
+            candidate_pool_size=pool_size,
+            rng=0,
+            **engine_kwargs,
+        )
+        start = time.perf_counter()
+        history = optimizer.optimize(iterations)
+        elapsed = time.perf_counter() - start
+        timings[f"{label}_ms_per_eval"] = elapsed * 1e3 / len(history)
+        total_delay_ms += sum(objective.delay_ms(record.spec) for record in history)
+        evaluations += len(history)
+    timings["evaluations_per_engine"] = evaluations / 2.0
+    # lower bound: every worker busy 100% of the time on the average workload
+    timings["ideal_ms_per_eval"] = total_delay_ms / evaluations / workers
+    timings["speedup"] = timings["batch_ms_per_eval"] / timings["async_ms_per_eval"]
+    return timings
+
+
+def format_report(
+    gp_rows: List[Dict[str, float]],
+    bo: Dict[str, float],
+    snap: Dict[str, float],
+    async_rows: Optional[Dict[str, float]] = None,
+) -> str:
     """Human-readable benchmark report."""
     lines = ["GP posterior: full refit vs incremental update (one new point)"]
     lines.append(f"{'n':>6} {'refit ms':>10} {'update ms':>10} {'speedup':>9}")
@@ -237,6 +326,15 @@ def format_report(gp_rows: List[Dict[str, float]], bo: Dict[str, float], snap: D
         f"evaluation {snap['evaluation_ms']:.1f} ms "
         f"({100 * snap['overhead_fraction']:.2f}% of the work a cache hit saves)"
     )
+    if async_rows is not None:
+        lines.append("")
+        lines.append(
+            f"Async executor vs batch barrier (straggler objective, workers={int(async_rows['workers'])}, "
+            f"{int(async_rows['evaluations_per_engine'])} evals/engine): "
+            f"batch {async_rows['batch_ms_per_eval']:.1f} ms/eval, "
+            f"async {async_rows['async_ms_per_eval']:.1f} ms/eval "
+            f"({async_rows['speedup']:.1f}x; ideal utilisation {async_rows['ideal_ms_per_eval']:.1f} ms/eval)"
+        )
     return "\n".join(lines)
 
 
@@ -252,16 +350,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     preseed = 200 if args.smoke else 300
     iterations = 3 if args.smoke else 10
 
+    async_iterations = 4 if args.smoke else 12
+
     gp_rows = bench_gp_update(sizes, repeats=repeats)
     bo = bench_bo_iterations(preseed=preseed, iterations=iterations)
     snap = bench_snapshot_store(repeats=repeats)
-    print(format_report(gp_rows, bo, snap))
+    async_rows = bench_async_vs_batch(workers=2, iterations=async_iterations)
+    print(format_report(gp_rows, bo, snap, async_rows))
 
     if args.output:
         payload = {
             "gp_update": gp_rows,
             "bo_iterations": bo,
             "snapshot_store": snap,
+            "async_executor": async_rows,
             "smoke": bool(args.smoke),
         }
         with open(args.output, "w") as handle:

@@ -52,6 +52,25 @@ def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
         "answered from disk and their weight updates are replayed into the "
         "shared weight store",
     )
+    parser.add_argument(
+        "--sharded-cache",
+        action="store_true",
+        help="use the sharded store layout (per-writer JSONL shards under "
+        "<store>.shards/ with a merged read view), so several concurrent search "
+        "processes can share --cache-dir without funnelling appends through one file",
+    )
+
+
+def _add_async_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--async-workers",
+        type=int,
+        default=0,
+        help="run candidate evaluation on the asynchronous executor with this many "
+        "persistent worker processes: as each evaluation finishes, its result is "
+        "observed into the GP and a fresh candidate is proposed immediately, so no "
+        "worker idles behind a batch barrier (0 = classic batch path)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--datasets", nargs="+", default=list(DEFAULT_DATASETS), choices=available_datasets())
     table1.add_argument("--models", nargs="+", default=list(DEFAULT_MODELS), choices=available_models())
     _add_cache_argument(table1)
+    _add_async_argument(table1)
     _add_common_arguments(table1)
 
     figure3 = subparsers.add_parser("figure3", help="run the Fig. 3 BO-vs-random-search comparison")
@@ -79,12 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--runs", type=int, default=None, help="number of repeated runs")
     figure3.add_argument("--iterations", type=int, default=None, help="evaluations per run")
     _add_cache_argument(figure3)
+    _add_async_argument(figure3)
     _add_common_arguments(figure3)
 
     adapt = subparsers.add_parser("adapt", help="run the adaptation pipeline for one dataset/model pair")
     adapt.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
     adapt.add_argument("--model", default="resnet18", choices=available_models())
     _add_cache_argument(adapt)
+    _add_async_argument(adapt)
     _add_common_arguments(adapt)
 
     subparsers.add_parser("info", help="list available datasets, models and scales")
@@ -107,7 +129,13 @@ def _command_figure1(args) -> int:
 def _command_table1(args) -> int:
     scale = get_scale(args.scale)
     result = run_table1(
-        scale=scale, datasets=args.datasets, models=args.models, seed=args.seed, cache_dir=args.cache_dir
+        scale=scale,
+        datasets=args.datasets,
+        models=args.models,
+        seed=args.seed,
+        async_workers=args.async_workers,
+        cache_dir=args.cache_dir,
+        cache_sharded=args.sharded_cache,
     )
     print(format_table1(result))
     if args.output:
@@ -126,6 +154,8 @@ def _command_figure3(args) -> int:
         iterations=args.iterations,
         seed=args.seed,
         cache_dir=args.cache_dir,
+        cache_sharded=args.sharded_cache,
+        async_workers=args.async_workers,
     )
     print(format_figure3(result))
     if args.plot:
@@ -140,7 +170,13 @@ def _command_figure3(args) -> int:
 def _command_adapt(args) -> int:
     scale = get_scale(args.scale)
     adaptation = run_table1_cell(
-        args.dataset, args.model, scale=scale, seed=args.seed, cache_dir=args.cache_dir
+        args.dataset,
+        args.model,
+        scale=scale,
+        seed=args.seed,
+        async_workers=args.async_workers,
+        cache_dir=args.cache_dir,
+        cache_sharded=args.sharded_cache,
     )
     print(adaptation.summary())
     print(f"best architecture: {adaptation.best_spec}")

@@ -14,8 +14,17 @@ This package implements Section III of the paper:
 * :mod:`repro.core.random_search` — the random-search baseline of Fig. 3;
 * :mod:`repro.core.weight_sharing` — the shared-weight store that lets BO
   candidates inherit previously trained weights;
+* :mod:`repro.core.cache` / :mod:`repro.core.snapshots` — the persistent
+  evaluation store (JSONL, optionally sharded per writer) and the
+  content-addressed weight-snapshot tier it references;
+* :mod:`repro.core.async_eval` — the asynchronous evaluation executor
+  (persistent worker pool, no batch barrier) and the submission-order
+  weight-update sequencer;
 * :mod:`repro.core.adapter` — the end-to-end ANN→SNN adaptation pipeline
   (:class:`SNNAdapter`) producing the Table-I quantities.
+
+``docs/architecture.md`` has the full module map and the data flow of one
+search iteration.
 
 The optimization-pipeline classes (objectives, optimizers, adapter) are
 re-exported lazily to avoid import cycles with :mod:`repro.models`, which
@@ -60,7 +69,11 @@ __all__ = [
     "SNNAdapter",
     "CachedObjective",
     "PersistentEvaluationStore",
+    "ShardedEvaluationStore",
     "snapshot_store_for",
+    "AsyncEvaluationExecutor",
+    "WeightUpdateSequencer",
+    "evaluate_ordered",
     "FidelitySchedule",
     "MultiFidelityObjective",
     "SuccessiveHalvingSearch",
@@ -85,7 +98,11 @@ _LAZY_EXPORTS = {
     "SNNAdapter": "repro.core.adapter",
     "CachedObjective": "repro.core.cache",
     "PersistentEvaluationStore": "repro.core.cache",
+    "ShardedEvaluationStore": "repro.core.cache",
     "snapshot_store_for": "repro.core.cache",
+    "AsyncEvaluationExecutor": "repro.core.async_eval",
+    "WeightUpdateSequencer": "repro.core.async_eval",
+    "evaluate_ordered": "repro.core.async_eval",
     "FidelitySchedule": "repro.core.multi_fidelity",
     "MultiFidelityObjective": "repro.core.multi_fidelity",
     "SuccessiveHalvingSearch": "repro.core.multi_fidelity",

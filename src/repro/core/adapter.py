@@ -55,7 +55,13 @@ class AdaptationConfig:
     acquisition: str = "ucb"
     #: weight of the firing-rate penalty (0 disables the energy-aware term)
     firing_rate_weight: float = 0.0
+    #: worker processes for the batch evaluation path (1 = sequential)
     workers: int = 1
+    #: when >= 1, run the asynchronous evaluation engine instead: a persistent
+    #: pool keeps this many candidate evaluations in flight and proposes a
+    #: replacement the moment one finishes (no batch barrier); ``workers`` is
+    #: then ignored for the BO phase
+    async_workers: int = 0
     seed: int = 0
     neuron: NeuronConfig = field(default_factory=NeuronConfig)
     #: directory of the persistent evaluation store (None = in-memory only);
@@ -72,6 +78,10 @@ class AdaptationConfig:
     #: default) sizes the budget to the search itself, so every candidate of
     #: a cached re-run replays warm
     snapshot_keep: Optional[int] = None
+    #: use the sharded store layout (per-writer JSONL shards under
+    #: ``<store>.shards/`` with a merged read view) so several concurrent
+    #: search processes can share ``cache_dir`` without write contention
+    cache_sharded: bool = False
 
     def snapshot_budget(self) -> int:
         """Snapshots to keep: explicit cap, or the full evaluation budget."""
@@ -216,6 +226,7 @@ class SNNAdapter:
             evaluation_store = evaluation_store_for(
                 config.cache_dir,
                 ["adapt", self.splits.name, self.template.name],
+                sharded=config.cache_sharded,
                 seed=config.seed,
                 candidate_epochs=config.candidate_finetune_epochs,
                 firing_rate_weight=config.firing_rate_weight,
@@ -239,6 +250,7 @@ class SNNAdapter:
             batch_size=config.bo_batch_size,
             candidate_pool_size=config.bo_candidate_pool,
             workers=config.workers,
+            async_workers=config.async_workers,
             weight_store=store,
             rng=config.seed,
         )

@@ -54,9 +54,21 @@ class OptimizationRecord:
     accuracy: float
     firing_rate: float = 0.0
     source: str = "bo"
+    #: submission-order index assigned by the asynchronous engine (``None``
+    #: for the batch path, whose history order *is* the submission order).
+    #: The async history is appended in completion order; sorting records by
+    #: ticket recovers the sequence whose sequential replay reproduces the
+    #: shared-store state.
+    ticket: Optional[int] = None
 
     @classmethod
-    def from_result(cls, iteration: int, result: EvaluationResult, source: str = "bo") -> "OptimizationRecord":
+    def from_result(
+        cls,
+        iteration: int,
+        result: EvaluationResult,
+        source: str = "bo",
+        ticket: Optional[int] = None,
+    ) -> "OptimizationRecord":
         """Build a record from an :class:`EvaluationResult`."""
         return cls(
             iteration=iteration,
@@ -65,6 +77,7 @@ class OptimizationRecord:
             accuracy=result.accuracy,
             firing_rate=result.firing_rate,
             source=source,
+            ticket=ticket,
         )
 
 
@@ -158,6 +171,21 @@ class BayesianOptimizer:
         parent after the batch returns, so no update is lost to a worker
         process (and a batch accumulates identical store contents whatever
         the worker count).
+    async_workers:
+        When ``>= 1``, :meth:`optimize` runs the **asynchronous** engine
+        instead of the batch path: a persistent
+        :class:`~repro.core.async_eval.AsyncEvaluationExecutor` keeps
+        ``async_workers`` evaluations in flight, and the moment one completes
+        its result is observed into the GP posterior and a fresh candidate —
+        proposed by constant-liar fantasies conditioned on the still-running
+        set — is submitted, so no worker ever idles behind a straggler's
+        batch barrier.  The total evaluation budget is unchanged
+        (``initial_points + num_iterations * batch_size``), and weight
+        updates are applied in submission order
+        (:class:`~repro.core.async_eval.WeightUpdateSequencer`), so the
+        shared store accumulates exactly the state a sequential run over the
+        same proposal sequence would.  ``0`` (default) keeps the batch path;
+        ``workers`` is ignored while the async engine is active.
     weight_store:
         The shared store those payloads merge into.  Defaults to the store
         discovered on the objective itself (walking wrapper chains such as
@@ -182,6 +210,7 @@ class BayesianOptimizer:
         noise: float = 1e-3,
         include_default: bool = True,
         workers: int = 1,
+        async_workers: int = 0,
         incremental: bool = True,
         weight_store: Optional[WeightStore] = None,
         rng=None,
@@ -201,7 +230,10 @@ class BayesianOptimizer:
         self.candidate_pool_size = int(candidate_pool_size)
         self.noise = float(noise)
         self.include_default = bool(include_default)
+        if async_workers < 0:
+            raise ValueError("async_workers must be >= 0")
         self.workers = int(workers)
+        self.async_workers = int(async_workers)
         self.incremental = bool(incremental)
         self._weight_base, resolved_store = resolve_weight_context(objective)
         self.weight_store = weight_store if weight_store is not None else resolved_store
@@ -392,6 +424,98 @@ class BayesianOptimizer:
         return proposals
 
     # ------------------------------------------------------------------
+    # asynchronous engine
+    # ------------------------------------------------------------------
+    def _propose_async(self, in_flight_specs, iteration: int) -> Optional[ArchitectureSpec]:
+        """Propose one candidate conditioned on the in-flight set.
+
+        The surrogate absorbs every completed observation first
+        (:meth:`_fit_surrogate`, incremental), then a constant-liar
+        :class:`~repro.gp.gp.FantasizedPosterior` over a fresh pool is
+        conditioned on each still-running candidate — pretending, as in the
+        batch path, that it will return the incumbent value — so concurrent
+        proposals stay diverse even though none of them has reported back.
+        """
+        surrogate = self._fit_surrogate()
+        # exclusion keys must share the dedup set's dtype (raw int64 encoding
+        # bytes); the float64 view is only for conditioning the posterior
+        pending = [spec.encode() for spec in in_flight_specs]
+        exclude = self._dedup_keys() | {encoding.tobytes() for encoding in pending}
+        pool = self.search_space.sample_batch(self.candidate_pool_size, rng=self._rng, exclude=exclude)
+        if not pool:
+            return None
+        best_value = self.history.best().objective_value
+        fantasy = surrogate.fantasize(np.array([spec.encode() for spec in pool], dtype=np.float64))
+        for encoding in pending:
+            fantasy.condition(encoding.astype(np.float64), best_value)
+        mean, std = fantasy.predict()
+        scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
+        return pool[int(np.argmax(scores))]
+
+    def _absorb_async(self, done, sequencer, iteration: int, source: str) -> OptimizationRecord:
+        """Record one completed evaluation and sequence its weight update."""
+        sequencer.add(done.ticket, done.result.weight_update)
+        record = OptimizationRecord.from_result(iteration, done.result, source=source, ticket=done.ticket)
+        self.history.append(record)
+        return record
+
+    def _optimize_async(self, num_iterations: int, callback) -> OptimizationHistory:
+        """Asynchronous engine behind :meth:`optimize` (``async_workers >= 1``).
+
+        Keeps up to ``async_workers`` evaluations in flight on a persistent
+        worker pool; each completion is observed into the posterior and
+        immediately replaced by a fresh constant-liar proposal, so there is
+        no batch barrier and no idle worker behind a straggler.  The
+        evaluation budget, the history/record shape and the shared-store
+        accumulation semantics all match the batch path.
+        """
+        from repro.core.async_eval import AsyncEvaluationExecutor, WeightUpdateSequencer
+
+        budget = num_iterations * self.batch_size
+        sequencer = WeightUpdateSequencer(self.weight_store)
+        defer = self._weight_base is not None and self.weight_store is not None
+        if defer:
+            previous_defer = self._weight_base.defer_updates
+            self._weight_base.defer_updates = True
+        try:
+            with AsyncEvaluationExecutor(self.objective, workers=self.async_workers) as executor:
+                in_flight: Dict[int, ArchitectureSpec] = {}
+                if not len(self.history):
+                    for spec in self._initial_specs():
+                        in_flight[executor.submit(spec)] = spec
+                    while in_flight:
+                        done = executor.next_completed()
+                        del in_flight[done.ticket]
+                        self._absorb_async(done, sequencer, iteration=0, source="init")
+                    if callback is not None:
+                        callback(0, self.history)
+                proposed = completed = 0
+                while proposed < budget and len(in_flight) < self.async_workers:
+                    spec = self._propose_async(in_flight.values(), iteration=1 + proposed // self.batch_size)
+                    if spec is None:
+                        break
+                    in_flight[executor.submit(spec)] = spec
+                    proposed += 1
+                while in_flight:
+                    done = executor.next_completed()
+                    del in_flight[done.ticket]
+                    completed += 1
+                    iteration = 1 + (completed - 1) // self.batch_size
+                    self._absorb_async(done, sequencer, iteration=iteration, source="bo")
+                    if proposed < budget:
+                        spec = self._propose_async(in_flight.values(), iteration=1 + proposed // self.batch_size)
+                        if spec is not None:
+                            in_flight[executor.submit(spec)] = spec
+                            proposed += 1
+                    boundary = completed % self.batch_size == 0 or (not in_flight and proposed >= budget)
+                    if callback is not None and completed and boundary:
+                        callback(iteration, self.history)
+        finally:
+            if defer:
+                self._weight_base.defer_updates = previous_defer
+        return self.history
+
+    # ------------------------------------------------------------------
     def optimize(self, num_iterations: int, callback: Optional[Callable[[int, OptimizationHistory], None]] = None) -> OptimizationHistory:
         """Run the search for ``num_iterations`` BO iterations.
 
@@ -399,10 +523,14 @@ class BayesianOptimizer:
         ``initial_points + num_iterations * batch_size`` (capped by the size
         of the search space).  ``callback`` is invoked after every iteration
         with ``(iteration, history)`` — used by the experiment harness for
-        progress reporting.
+        progress reporting.  With ``async_workers >= 1`` the asynchronous
+        engine runs instead of the batch path (same budget, same history
+        shape; see the class docstring).
         """
         if num_iterations < 0:
             raise ValueError("num_iterations must be non-negative")
+        if self.async_workers >= 1:
+            return self._optimize_async(num_iterations, callback)
         if not len(self.history):
             self._evaluate_batch(self._initial_specs(), iteration=0, source="init")
             if callback is not None:

@@ -17,6 +17,13 @@ can safely share one store, and a torn trailing line from a crashed run is
 skipped on load instead of poisoning the file.  Plug a store into
 :class:`CachedObjective` (or pass ``--cache-dir`` to the CLI) and evaluations
 survive the process: a later run hits the store instead of re-training.
+:class:`ShardedEvaluationStore` extends the format for many concurrent
+writers: each writer appends to its own JSONL shard under ``<name>.shards/``
+and reads a merged view of every shard, so parallel search processes and
+worker-pool children share one cache directory without write contention.
+
+The on-disk formats (rows, fingerprinted filenames, snapshots, shards) are a
+stable contract documented in ``docs/caching.md``.
 
 Pair the store with a :class:`~repro.core.snapshots.WeightSnapshotStore`
 (:func:`snapshot_store_for`) and hits also restore the *weight-sharing* state:
@@ -32,6 +39,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
@@ -46,6 +54,11 @@ from repro.core.weight_sharing import WeightUpdate
 def spec_key(spec: ArchitectureSpec) -> str:
     """Stable string key of an architecture (its flat integer encoding)."""
     return ",".join(str(int(v)) for v in spec.encode())
+
+
+#: (base path, pid) -> this process's shard writer id; see
+#: :meth:`ShardedEvaluationStore._process_writer_id`
+_PROCESS_WRITER_IDS: Dict[tuple, str] = {}
 
 
 def config_fingerprint(**config) -> str:
@@ -77,17 +90,25 @@ def dataset_fingerprint_fields(splits) -> Dict[str, object]:
     }
 
 
-def evaluation_store_for(cache_dir, name_parts, **config) -> "PersistentEvaluationStore":
+def evaluation_store_for(cache_dir, name_parts, sharded: bool = False, **config) -> "PersistentEvaluationStore":
     """Open the store for one (experiment, configuration) combination.
 
     The filename is ``<name_parts joined by '-'>-<fingerprint>.jsonl`` under
     ``cache_dir`` — the single place that defines what makes two runs'
     evaluations comparable.  All experiment wiring (adapter, figure3) goes
     through here so fingerprint coverage cannot drift between call sites.
+
+    With ``sharded=True`` the returned store is a
+    :class:`ShardedEvaluationStore` rooted at the same fingerprinted name:
+    this process appends to its own shard under ``<name>.shards/`` and reads
+    a merged view of every writer's shard (plus any legacy single file), so
+    several concurrent search processes can share the cache directory
+    without funnelling their appends through one file.
     """
     tag = config_fingerprint(**config)
     filename = "-".join([str(part) for part in name_parts] + [tag]) + ".jsonl"
-    return PersistentEvaluationStore(Path(cache_dir) / filename)
+    store_cls = ShardedEvaluationStore if sharded else PersistentEvaluationStore
+    return store_cls(Path(cache_dir) / filename)
 
 
 def snapshot_store_for(
@@ -97,9 +118,15 @@ def snapshot_store_for(
 
     The directory sits next to the store's ``.jsonl`` file and inherits its
     name — including the configuration fingerprint — so snapshots are scoped
-    exactly like the evaluation rows that reference them.
+    exactly like the evaluation rows that reference them.  For a
+    :class:`ShardedEvaluationStore` the directory derives from the shared
+    *base* name (not the per-writer shard), so every writer resolves the
+    same snapshot directory and a row written by one process replays in any
+    other; the snapshot store is safe for concurrent writers by design
+    (content addressing, atomic replace, per-digest sidecars).
     """
-    return WeightSnapshotStore(store.path.with_suffix(".weights"), keep_best=keep_best)
+    base = getattr(store, "base_path", store.path)
+    return WeightSnapshotStore(base.with_suffix(".weights"), keep_best=keep_best)
 
 
 def persist_weight_snapshot(
@@ -216,17 +243,12 @@ class PersistentEvaluationStore:
         self.reload()
 
     # ------------------------------------------------------------------
-    def reload(self) -> int:
-        """(Re)read the backing file; returns the number of rows loaded."""
-        self._rows.clear()
-        self.skipped_lines = 0
-        self._needs_newline = False
-        if not self.path.exists():
-            return 0
-        text = self.path.read_text()
-        # a crashed writer can leave a torn line without a newline; remember to
-        # start the next append on a fresh line so it stays parseable
-        self._needs_newline = bool(text) and not text.endswith("\n")
+    def _source_paths(self) -> List[Path]:
+        """Files merged into the read view, oldest layer first."""
+        return [self.path] if self.path.exists() else []
+
+    def _ingest(self, text: str) -> None:
+        """Parse one file's JSONL rows into the in-memory view (latest wins)."""
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -238,6 +260,23 @@ class PersistentEvaluationStore:
                 self.skipped_lines += 1
                 continue
             self._rows[key] = row
+
+    def reload(self) -> int:
+        """(Re)read the backing file(s); returns the number of rows loaded."""
+        self._rows.clear()
+        self.skipped_lines = 0
+        self._needs_newline = False
+        for path in self._source_paths():
+            try:
+                text = path.read_text()
+            except OSError:  # pragma: no cover - concurrently removed shard
+                continue
+            if path == self.path:
+                # a crashed writer can leave a torn line without a newline;
+                # remember to start the next append on a fresh line so it
+                # stays parseable
+                self._needs_newline = bool(text) and not text.endswith("\n")
+            self._ingest(text)
         return len(self._rows)
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
@@ -297,6 +336,87 @@ class PersistentEvaluationStore:
             "hit_rate": self.hit_rate,
             "skipped_lines": float(self.skipped_lines),
         }
+
+
+class ShardedEvaluationStore(PersistentEvaluationStore):
+    """Per-writer JSONL shards behind one merged read view.
+
+    The single-file store is already safe for concurrent *appends* (each row
+    is one ``O_APPEND`` write), but every process still funnels its writes
+    into one file.  The sharded layout removes even that contention and makes
+    ownership explicit: each writer appends only to its **own** shard under
+    ``<base>.shards/``, while :meth:`reload` merges the legacy single file
+    (if present) plus every shard into one read view — so any number of
+    search processes (or worker-pool children) can share a cache directory
+    and see each other's rows after a reload.
+
+    Layout, given a base path ``evals.jsonl``::
+
+        evals.jsonl                       # optional legacy single-file layer
+        evals.shards/<pid>-<uuid>.jsonl   # one shard per writer
+
+    Duplicate keys resolve deterministically: the legacy file is the oldest
+    layer, shards are merged in sorted filename order, and within a file
+    later lines win.  Rows for one key are interchangeable anyway — the
+    configuration fingerprint embedded in the base filename guarantees every
+    writer evaluated candidates the same way.
+
+    Instances are picklable; an unpickled copy (e.g. the cached objective
+    shipped to a worker process) writes to the receiving **process's own**
+    shard — one shard per (process, base path), however many times the
+    objective is re-pickled — so worker children never interleave with the
+    parent's file and a long search does not scatter one shard per task.
+    """
+
+    SHARD_SUFFIX = ".shards"
+
+    def __init__(self, path: Union[str, Path], writer_id: Optional[str] = None) -> None:
+        base = Path(path)
+        if base.suffix != ".jsonl":
+            base = base / self.FILENAME
+        self.base_path = base
+        self.writer_id = writer_id if writer_id is not None else self._process_writer_id(base)
+        super().__init__(self.shard_dir / f"{self.writer_id}.jsonl")
+
+    @classmethod
+    def _process_writer_id(cls, base_path: Path) -> str:
+        """This process's stable writer id for ``base_path``.
+
+        Cached per (base path, pid): every store instance this process opens
+        on the same base — including copies unpickled per worker task —
+        appends to one shard.  The pid in the cache key means a forked child
+        never inherits its parent's id, and the uuid component keeps ids
+        unique under pid reuse across machines/sessions.
+        """
+        key = (str(base_path), os.getpid())
+        writer_id = _PROCESS_WRITER_IDS.get(key)
+        if writer_id is None:
+            writer_id = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            _PROCESS_WRITER_IDS[key] = writer_id
+        return writer_id
+
+    @property
+    def shard_dir(self) -> Path:
+        """Directory holding the per-writer shard files."""
+        return self.base_path.with_suffix(self.SHARD_SUFFIX)
+
+    def _source_paths(self) -> List[Path]:
+        legacy = [self.base_path] if self.base_path.exists() else []
+        shards = sorted(self.shard_dir.glob("*.jsonl")) if self.shard_dir.exists() else []
+        return legacy + shards
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # drop the writer identity: the receiving process must not append to
+        # this process's shard
+        del state["writer_id"], state["path"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self.writer_id = self._process_writer_id(self.base_path)
+        self.path = self.shard_dir / f"{self.writer_id}.jsonl"
+        self._needs_newline = False
 
 
 class CachedObjective(Objective):

@@ -9,7 +9,7 @@ the next fidelity level (more epochs), successive-halving style.  Because the
 objective shares weights across candidates, promotions are cheap — the
 candidate resumes from the shared store rather than restarting.
 
-Two entry points are provided:
+Three entry points are provided:
 
 * :class:`FidelitySchedule` — the ladder of (epochs, survivor-fraction) rungs;
 * :class:`SuccessiveHalvingSearch` — a complete search strategy combining
@@ -23,7 +23,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -112,13 +112,15 @@ class MultiFidelityObjective(Objective):
 
         return f"{spec_key(spec)}@epochs={int(epochs)}"
 
-    def at_fidelity(self, epochs: int) -> Callable[[ArchitectureSpec], EvaluationResult]:
-        """Return a callable evaluating candidates with ``epochs`` fine-tune epochs."""
+    def at_fidelity(self, epochs: int) -> "FidelityEvaluator":
+        """Return a callable evaluating candidates with ``epochs`` fine-tune epochs.
 
-        def evaluate(spec: ArchitectureSpec) -> EvaluationResult:
-            return self.evaluate(spec, epochs)
-
-        return evaluate
+        The returned :class:`FidelityEvaluator` is a plain picklable object
+        (not a closure), so it can be shipped to worker processes by
+        :class:`~repro.core.async_eval.AsyncEvaluationExecutor` under any
+        multiprocessing start method.
+        """
+        return FidelityEvaluator(self, epochs)
 
     def evaluate(self, spec: ArchitectureSpec, epochs: int) -> EvaluationResult:
         """Evaluate ``spec`` at the given fidelity (number of epochs)."""
@@ -153,6 +155,17 @@ class MultiFidelityObjective(Objective):
         return self.evaluate(spec, self._original_epochs)
 
 
+@dataclass
+class FidelityEvaluator:
+    """Evaluate candidates at one fixed fidelity (picklable worker payload)."""
+
+    objective: MultiFidelityObjective
+    epochs: int
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        return self.objective.evaluate(spec, self.epochs)
+
+
 class SuccessiveHalvingSearch:
     """Successive halving over the skip-connection search space.
 
@@ -161,6 +174,16 @@ class SuccessiveHalvingSearch:
     and are re-evaluated at the next rung's budget (resuming from the shared
     weights when the underlying objective uses a
     :class:`~repro.core.weight_sharing.WeightStore`).
+
+    With ``workers > 1`` each rung's population — which is independent by
+    construction — is evaluated concurrently on an
+    :class:`~repro.core.async_eval.AsyncEvaluationExecutor`: the base
+    objective defers its local store mutation for the rung and the
+    result-carried weight updates are applied in submission order, so the
+    shared store accumulates a deterministic state whatever the completion
+    order.  (``workers=1`` keeps the classic sequential semantics, where a
+    candidate may inherit weights trained by an earlier candidate of the
+    same rung.)
     """
 
     def __init__(
@@ -170,6 +193,7 @@ class SuccessiveHalvingSearch:
         schedule: Optional[FidelitySchedule] = None,
         initial_candidates: int = 8,
         include_default: bool = True,
+        workers: int = 1,
         rng=None,
     ) -> None:
         if initial_candidates < 1:
@@ -179,6 +203,7 @@ class SuccessiveHalvingSearch:
         self.schedule = schedule or FidelitySchedule()
         self.initial_candidates = int(initial_candidates)
         self.include_default = bool(include_default)
+        self.workers = int(workers)
         self._rng = default_rng(rng)
         self.history = OptimizationHistory()
 
@@ -192,13 +217,35 @@ class SuccessiveHalvingSearch:
             population.extend(self.search_space.sample_batch(needed, rng=self._rng, exclude=exclude))
         return population
 
+    def _evaluate_rung(self, population: List[ArchitectureSpec], epochs: int) -> List[EvaluationResult]:
+        """Evaluate one rung's population, sequentially or on the executor."""
+        if self.workers <= 1:
+            return [self.objective.evaluate(spec, epochs) for spec in population]
+        from repro.core.async_eval import evaluate_ordered
+
+        base = self.objective.base
+        weight_store = getattr(base, "weight_store", None)
+        defer = weight_store is not None and hasattr(base, "defer_updates")
+        if defer:
+            previous_defer = base.defer_updates
+            base.defer_updates = True
+        try:
+            return evaluate_ordered(
+                self.objective.at_fidelity(epochs),
+                population,
+                workers=self.workers,
+                weight_store=weight_store,
+            )
+        finally:
+            if defer:
+                base.defer_updates = previous_defer
+
     def optimize(self) -> OptimizationHistory:
         """Run the full ladder and return the evaluation history."""
         population = self._initial_population()
         for rung_index, rung in enumerate(self.schedule.rungs):
             results: List[Tuple[ArchitectureSpec, EvaluationResult]] = []
-            for spec in population:
-                result = self.objective.evaluate(spec, rung.epochs)
+            for spec, result in zip(population, self._evaluate_rung(population, rung.epochs)):
                 record = OptimizationRecord.from_result(rung_index, result, source=f"sh-rung{rung_index}")
                 self.history.append(record)
                 results.append((spec, result))

@@ -144,6 +144,8 @@ def run_figure3(
     iterations: Optional[int] = None,
     seed: int = 0,
     cache_dir: Optional[str] = None,
+    cache_sharded: bool = False,
+    async_workers: int = 0,
 ) -> Figure3Result:
     """Run the BO-vs-random-search comparison.
 
@@ -157,6 +159,10 @@ def run_figure3(
     snapshot, and a hit replays it into the run's ``WeightStore`` — so
     extending a cached run with a larger ``iterations`` budget evaluates the
     fresh tail from the same warm weights as an uncached run.
+    ``cache_sharded`` selects the per-writer shard layout for those stores
+    (safe for many concurrent processes sharing ``cache_dir``), and
+    ``async_workers >= 1`` evaluates the BO method's candidates on the
+    asynchronous executor instead of the sequential/batch path.
     """
     scale = scale or get_scale()
     num_runs = num_runs if num_runs is not None else scale.figure3_runs
@@ -185,8 +191,8 @@ def run_figure3(
                 **dataset_fingerprint_fields(splits),
             )
             name = ["figure3", splits.name, template.name]
-            bo_store = evaluation_store_for(cache_dir, name + ["bo"], **fingerprint)
-            rs_store = evaluation_store_for(cache_dir, name + ["rs"], **fingerprint)
+            bo_store = evaluation_store_for(cache_dir, name + ["bo"], sharded=cache_sharded, **fingerprint)
+            rs_store = evaluation_store_for(cache_dir, name + ["rs"], sharded=cache_sharded, **fingerprint)
 
         bo_objective = _make_objective(template, splits, scale, run_seed, weight_sharing=True)
         if bo_store is not None:
@@ -206,6 +212,7 @@ def run_figure3(
             initial_points=initial,
             batch_size=1,
             candidate_pool_size=48,
+            async_workers=async_workers,
             rng=run_seed,
         )
         bo_history = bo.optimize(max(iterations - initial, 0))

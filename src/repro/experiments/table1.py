@@ -86,7 +86,9 @@ class Table1Result:
         return seen
 
 
-def _adaptation_config(scale: ExperimentScale, dataset: str, seed: int, workers: int) -> AdaptationConfig:
+def _adaptation_config(
+    scale: ExperimentScale, dataset: str, seed: int, workers: int, async_workers: int = 0
+) -> AdaptationConfig:
     optimizer = PAPER_OPTIMIZERS.get(dataset, "sgd")
     ann_training = TrainingConfig(
         epochs=scale.ann_epochs,
@@ -114,6 +116,7 @@ def _adaptation_config(scale: ExperimentScale, dataset: str, seed: int, workers:
         bo_batch_size=scale.bo_batch_size,
         bo_initial_points=scale.bo_initial_points,
         workers=workers,
+        async_workers=async_workers,
         seed=seed,
     )
 
@@ -125,7 +128,9 @@ def run_table1_cell(
     splits: Optional[DatasetSplits] = None,
     seed: int = 0,
     workers: int = 1,
+    async_workers: int = 0,
     cache_dir: Optional[str] = None,
+    cache_sharded: bool = False,
 ) -> AdaptationResult:
     """Run the adaptation pipeline for a single (dataset, model) pair.
 
@@ -134,6 +139,10 @@ def run_table1_cell(
     of the candidate's trained weights — and re-used by any later run sharing
     the directory, which replays the snapshots into its shared weight store
     so the final fine-tune starts warm even on a fully-cached run.
+    ``cache_sharded`` switches that store to the per-writer shard layout so
+    concurrent processes sharing ``cache_dir`` never contend on one file.
+    ``async_workers >= 1`` evaluates BO candidates on the asynchronous
+    executor (no batch barrier) instead of the ``workers``-wide batch path.
     """
     scale = scale or get_scale()
     if splits is None:
@@ -142,8 +151,9 @@ def run_table1_cell(
     template = get_template(
         model, **model_kwargs(scale, model, input_channels=input_channels, num_classes=splits.num_classes)
     )
-    config = _adaptation_config(scale, dataset, seed, workers)
+    config = _adaptation_config(scale, dataset, seed, workers, async_workers)
     config.cache_dir = cache_dir
+    config.cache_sharded = cache_sharded
     adapter = SNNAdapter(template, splits, config)
     return adapter.run()
 
@@ -154,7 +164,9 @@ def run_table1(
     models: Sequence[str] = DEFAULT_MODELS,
     seed: int = 0,
     workers: int = 1,
+    async_workers: int = 0,
     cache_dir: Optional[str] = None,
+    cache_sharded: bool = False,
 ) -> Table1Result:
     """Run the full Table-I grid (datasets x models)."""
     scale = scale or get_scale()
@@ -163,7 +175,15 @@ def run_table1(
         splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
         for model in models:
             result = run_table1_cell(
-                dataset, model, scale=scale, splits=splits, seed=seed, workers=workers, cache_dir=cache_dir
+                dataset,
+                model,
+                scale=scale,
+                splits=splits,
+                seed=seed,
+                workers=workers,
+                async_workers=async_workers,
+                cache_dir=cache_dir,
+                cache_sharded=cache_sharded,
             )
             table.results.append(result)
             table.rows.append(Table1Row.from_result(dataset, model, result))

@@ -1,11 +1,14 @@
 """Parallel evaluation of independent workloads.
 
 The paper's Bayesian optimizer proposes ``k`` architectures per iteration so
-that they can be trained in parallel.  On a multi-core machine the candidate
-evaluations (each an independent short training run) are spread over worker
-processes with :mod:`multiprocessing`; with ``workers <= 1`` (the default used
-by the tests and by single-core CI machines) evaluation degrades gracefully to
-a sequential loop with identical results.
+that they can be trained in parallel.  Two execution strategies build on this
+module: :func:`parallel_map` spreads one batch over a throwaway
+:mod:`multiprocessing` pool (the classic barrier path), and
+:class:`~repro.core.async_eval.AsyncEvaluationExecutor` keeps a persistent
+pool and hands candidates out one at a time — both share the start-method
+configuration and picklability probes defined here.  With ``workers <= 1``
+(the default used by the tests and by single-core CI machines) evaluation
+degrades gracefully to a sequential loop with identical results.
 
 Fallback to sequential execution happens only for *infrastructure* problems
 established before any work runs: the workload cannot be pickled for shipment
@@ -53,14 +56,23 @@ def start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+def get_mp_context():
+    """The multiprocessing context for the configured start method.
+
+    An invalid ``REPRO_MP_START_METHOD`` raises here rather than degrading
+    silently — a misconfigured run must not masquerade as a parallel one.
+    """
+    return multiprocessing.get_context(start_method())
+
+
 #: funcs already probed for picklability; an objective is pickled by the pool
 #: on every batch anyway, so the probe result is worth remembering (the func
 #: object — e.g. a CachedObjective holding the dataset — can be large)
 _PICKLABLE_FUNCS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
-def _workload_is_picklable(func, items) -> bool:
-    """Whether ``func`` and ``items`` can be shipped to worker processes."""
+def func_is_picklable(func) -> bool:
+    """Whether ``func`` can be shipped to worker processes (result cached)."""
     try:
         known = _PICKLABLE_FUNCS.get(func)
     except TypeError:  # unhashable/unweakrefable func
@@ -75,7 +87,12 @@ def _workload_is_picklable(func, items) -> bool:
             _PICKLABLE_FUNCS[func] = known
         except TypeError:
             pass
-    if not known:
+    return known
+
+
+def _workload_is_picklable(func, items) -> bool:
+    """Whether ``func`` and ``items`` can be shipped to worker processes."""
+    if not func_is_picklable(func):
         return False
     try:
         pickle.dumps(items)
@@ -98,7 +115,7 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], workers: int = 1) -
         return [func(item) for item in items]
     if not _workload_is_picklable(func, items):
         return [func(item) for item in items]
-    context = multiprocessing.get_context(start_method())
+    context = get_mp_context()
     try:
         pool = context.Pool(processes=min(workers, len(items)))
     except (OSError, PermissionError):  # pragma: no cover - sandbox fallback

@@ -1,0 +1,88 @@
+"""Keep the docs honest: link-check and doctest `docs/` and README.md.
+
+Two failure modes silently rot prose documentation, and this script (run by
+the CI `docs` job) turns both into build failures:
+
+* **dead relative links** — every markdown link or image pointing at a
+  repo-relative path must resolve to an existing file or directory
+  (external ``http(s)``/``mailto`` URLs and pure ``#anchor`` links are not
+  checked — CI must not depend on the network);
+* **stale code examples** — every ``>>>`` example in the checked files is
+  executed with :mod:`doctest`, so an API rename breaks the doc visibly.
+
+Run locally::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: files whose links and doctests are checked
+CHECKED_FILES = ("README.md", "docs/architecture.md", "docs/caching.md", "docs/benchmarks.md")
+
+#: markdown inline links/images: [text](target) / ![alt](target)
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: link targets that are not repo-relative paths
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_links(path: Path) -> list:
+    """Dead repo-relative link targets in one markdown file."""
+    errors = []
+    for target in LINK_PATTERN.findall(path.read_text()):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: dead link -> {target}")
+    return errors
+
+
+def check_doctests(path: Path) -> list:
+    """Failing ``>>>`` examples in one markdown file."""
+    text = path.read_text()
+    if ">>>" not in text:
+        return []
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    if results.failed:
+        return [f"{path.relative_to(REPO_ROOT)}: {results.failed}/{results.attempted} doctests failed"]
+    return []
+
+
+def main() -> int:
+    """Check every documented file; returns a process exit code."""
+    errors = []
+    checked = 0
+    for name in CHECKED_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            errors.append(f"missing documented file: {name}")
+            continue
+        checked += 1
+        errors.extend(check_links(path))
+        errors.extend(check_doctests(path))
+    if errors:
+        print("\n".join(errors))
+        return 1
+    print(f"docs OK: {checked} files, links resolve, doctests pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
