@@ -1,6 +1,6 @@
 """End-to-end benchmark of the incremental GP search engine.
 
-Four measurements, so the speedup of the incremental engine — and the cost
+Five measurements, so the speedup of the incremental engine — and the cost
 of the weight-snapshot tier — are tracked numbers instead of claims:
 
 1. **GP posterior update vs. full refit** — time to absorb one new
@@ -21,6 +21,11 @@ of the weight-snapshot tier — are tracked numbers instead of claims:
    minority of candidates are several times slower than the rest: the batch
    path idles every worker behind each straggler, the async executor keeps
    them busy.
+5. **Multi-objective engine** — wall-clock per evaluation of the
+   random-scalarization Pareto search (one incremental GP per objective,
+   front + hypervolume bookkeeping) on a synthetic two-objective trade-off,
+   plus the hypervolume-vs-evaluations curve at a few checkpoints so front
+   convergence is tracked alongside throughput.
 
 Run standalone::
 
@@ -299,11 +304,62 @@ def bench_async_vs_batch(
     return timings
 
 
+def bench_multi_objective(
+    preseed: int,
+    iterations: int,
+    pool_size: int = 64,
+) -> Dict[str, float]:
+    """Throughput and front quality of the multi-objective engine.
+
+    The objective is the instant synthetic trade-off of
+    :class:`~repro.core.objectives.SyntheticWeightObjective` (accuracy vs. a
+    skip-count-correlated energy), so the timing isolates the engine: two
+    incremental GP updates per observation, scalarised proposals over the
+    persistent candidate pool, non-dominated insertion and the hypervolume
+    indicator.  Checkpointed hypervolumes make front convergence a tracked
+    number next to ms/eval.
+    """
+    from repro.core.multi_objective import MultiObjectiveBayesianOptimizer
+    from repro.core.objectives import SyntheticWeightObjective
+
+    space = make_search_space()
+    optimizer = MultiObjectiveBayesianOptimizer(
+        space,
+        SyntheticWeightObjective(),
+        objectives=("accuracy", "energy"),
+        initial_points=preseed,
+        batch_size=1,
+        candidate_pool_size=pool_size,
+        rng=0,
+    )
+    optimizer.optimize(0)  # evaluate the warm start only
+    start = time.perf_counter()
+    optimizer.optimize(iterations)
+    elapsed = time.perf_counter() - start
+    curve = optimizer.hypervolume_history
+    # curve entry i was recorded at evaluation preseed + i (the trace starts
+    # at the warm-start observation that fixed the reference point)
+    checkpoints = {
+        f"hypervolume_at_{preseed + index}": float(curve[index])
+        for index in sorted({0, len(curve) // 2, len(curve) - 1})
+        if 0 <= index < len(curve)
+    }
+    return {
+        "ms_per_eval": elapsed * 1e3 / max(iterations, 1),
+        "evaluations": float(len(optimizer.history)),
+        "front_size": float(len(optimizer.front)),
+        "final_hypervolume": float(curve[-1]) if curve else 0.0,
+        "preseed": float(preseed),
+        **checkpoints,
+    }
+
+
 def format_report(
     gp_rows: List[Dict[str, float]],
     bo: Dict[str, float],
     snap: Dict[str, float],
     async_rows: Optional[Dict[str, float]] = None,
+    mo: Optional[Dict[str, float]] = None,
 ) -> str:
     """Human-readable benchmark report."""
     lines = ["GP posterior: full refit vs incremental update (one new point)"]
@@ -335,6 +391,20 @@ def format_report(
             f"async {async_rows['async_ms_per_eval']:.1f} ms/eval "
             f"({async_rows['speedup']:.1f}x; ideal utilisation {async_rows['ideal_ms_per_eval']:.1f} ms/eval)"
         )
+    if mo is not None:
+        checkpoints = ", ".join(
+            f"{key.split('_at_')[1]} evals: {value:.3f}"
+            for key, value in sorted(
+                (kv for kv in mo.items() if kv[0].startswith("hypervolume_at_")),
+                key=lambda kv: int(kv[0].split("_at_")[1]),
+            )
+        )
+        lines.append("")
+        lines.append(
+            f"Multi-objective engine (2 objectives, preseed={int(mo['preseed'])}): "
+            f"{mo['ms_per_eval']:.1f} ms/eval, front size {int(mo['front_size'])}, "
+            f"hypervolume [{checkpoints}]"
+        )
     return "\n".join(lines)
 
 
@@ -352,11 +422,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     async_iterations = 4 if args.smoke else 12
 
+    mo_iterations = 30 if args.smoke else 120
+    mo_preseed = 20 if args.smoke else 40
+
     gp_rows = bench_gp_update(sizes, repeats=repeats)
     bo = bench_bo_iterations(preseed=preseed, iterations=iterations)
     snap = bench_snapshot_store(repeats=repeats)
     async_rows = bench_async_vs_batch(workers=2, iterations=async_iterations)
-    print(format_report(gp_rows, bo, snap, async_rows))
+    mo = bench_multi_objective(preseed=mo_preseed, iterations=mo_iterations)
+    print(format_report(gp_rows, bo, snap, async_rows, mo))
 
     if args.output:
         payload = {
@@ -364,6 +438,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "bo_iterations": bo,
             "snapshot_store": snap,
             "async_executor": async_rows,
+            "multi_objective": mo,
             "smoke": bool(args.smoke),
         }
         with open(args.output, "w") as handle:

@@ -6,6 +6,8 @@ Usage (after installing the package)::
     python -m repro.cli table1  --datasets cifar10-dvs --models resnet18 --scale smoke
     python -m repro.cli figure3 --scale default --output results/figure3.json
     python -m repro.cli adapt   --dataset dvs128-gesture --model mobilenetv2
+    python -m repro.cli pareto  --objectives accuracy,energy --energy-budget 50 --scale smoke
+    python -m repro.cli cache compact --cache-dir results/cache
     python -m repro.cli info
 
 Every sub-command prints the paper-style table/series to stdout, optionally
@@ -23,10 +25,13 @@ from repro.data import available_datasets
 from repro.experiments import (
     format_figure1,
     format_figure3,
+    format_pareto,
     format_table1,
     get_scale,
+    plot_pareto,
     run_figure1,
     run_figure3,
+    run_pareto_front,
     run_table1,
 )
 from repro.experiments.io import save_result
@@ -109,6 +114,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_async_argument(adapt)
     _add_common_arguments(adapt)
 
+    pareto = subparsers.add_parser(
+        "pareto",
+        help="run the multi-objective Pareto search (accuracy/energy/latency trade-offs)",
+    )
+    pareto.add_argument("--dataset", default="cifar10-dvs", choices=available_datasets())
+    pareto.add_argument("--model", default="resnet18", choices=available_models())
+    pareto.add_argument(
+        "--objectives",
+        default="accuracy,energy",
+        help="comma-separated objectives to trade off (accuracy, energy, macs, "
+        "latency, firing_rate); each gets its own incremental GP surrogate",
+    )
+    pareto.add_argument(
+        "--energy-budget",
+        type=float,
+        default=None,
+        help="hard constraint energy_nj <= budget: proposals are weighted by the "
+        "posterior probability of staying within the budget, and the report "
+        "flags which front points comply",
+    )
+    pareto.add_argument("--iterations", type=int, default=None, help="evaluations after the warm start")
+    _add_cache_argument(pareto)
+    _add_async_argument(pareto)
+    _add_common_arguments(pareto)
+
+    cache = subparsers.add_parser("cache", help="maintain a persistent evaluation cache directory")
+    cache.add_argument("action", choices=["compact"], help="compact: fold per-writer shards into the base JSONL files")
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        help="cache directory whose sharded stores (<name>.shards/) are compacted in place",
+    )
+
     subparsers.add_parser("info", help="list available datasets, models and scales")
     return parser
 
@@ -188,6 +226,51 @@ def _command_adapt(args) -> int:
     return 0
 
 
+def _command_pareto(args) -> int:
+    scale = get_scale(args.scale)
+    objectives = [name.strip() for name in args.objectives.split(",") if name.strip()]
+    result = run_pareto_front(
+        scale=scale,
+        dataset=args.dataset,
+        model=args.model,
+        objectives=objectives,
+        energy_budget=args.energy_budget,
+        iterations=args.iterations,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        cache_sharded=args.sharded_cache,
+        async_workers=args.async_workers,
+    )
+    print(format_pareto(result))
+    if args.plot:
+        print()
+        print(plot_pareto(result))
+    if args.output:
+        save_result(result, args.output)
+        print(f"\nsaved to {args.output}")
+    return 0
+
+
+def _command_cache(args) -> int:
+    from pathlib import Path
+
+    from repro.core.cache import ShardedEvaluationStore
+
+    cache_dir = Path(args.cache_dir)
+    shard_dirs = sorted(cache_dir.glob(f"*{ShardedEvaluationStore.SHARD_SUFFIX}"))
+    if not shard_dirs:
+        print(f"no sharded stores under {cache_dir}")
+        return 0
+    for shard_dir in shard_dirs:
+        base = shard_dir.with_suffix(".jsonl")
+        summary = ShardedEvaluationStore(base).compact()
+        print(
+            f"{base.name}: {summary['rows']} rows, "
+            f"{summary['shards_merged']} shards merged, {summary['shards_kept']} kept"
+        )
+    return 0
+
+
 def _command_info(_args) -> int:
     print("datasets:", ", ".join(available_datasets()))
     print("models:  ", ", ".join(available_models()))
@@ -200,6 +283,8 @@ _COMMANDS = {
     "table1": _command_table1,
     "figure3": _command_figure3,
     "adapt": _command_adapt,
+    "pareto": _command_pareto,
+    "cache": _command_cache,
     "info": _command_info,
 }
 

@@ -21,7 +21,12 @@ This package implements Section III of the paper:
   (persistent worker pool, no batch barrier) and the submission-order
   weight-update sequencer;
 * :mod:`repro.core.adapter` — the end-to-end ANN→SNN adaptation pipeline
-  (:class:`SNNAdapter`) producing the Table-I quantities.
+  (:class:`SNNAdapter`) producing the Table-I quantities;
+* :mod:`repro.core.pareto` / :mod:`repro.core.multi_objective` — the
+  multi-objective subsystem: Pareto-front bookkeeping (non-dominated
+  insertion, hypervolume, crowding) and the random-scalarization
+  multi-objective Bayesian optimizer over pluggable accuracy / energy /
+  latency objectives (``docs/multi_objective.md``).
 
 ``docs/architecture.md`` has the full module map and the data flow of one
 search iteration.
@@ -39,6 +44,7 @@ from repro.core.adjacency import (
     BlockAdjacency,
     connection_name,
 )
+from repro.core.pareto import ParetoFront, ParetoPoint, dominates
 from repro.core.search_space import ArchitectureSpec, BlockSearchInfo, SearchSpace
 from repro.core.snapshots import WeightSnapshotStore
 from repro.core.weight_sharing import WeightStore, WeightUpdate
@@ -79,6 +85,14 @@ __all__ = [
     "SuccessiveHalvingSearch",
     "LocalSearch",
     "EvolutionarySearch",
+    "ParetoFront",
+    "ParetoPoint",
+    "dominates",
+    "ObjectiveSpec",
+    "ObjectiveConstraint",
+    "MultiObjectiveBayesianOptimizer",
+    "get_objective_spec",
+    "resolve_objective_specs",
 ]
 
 # Lazily-resolved exports (PEP 562): these modules import repro.models /
@@ -108,6 +122,11 @@ _LAZY_EXPORTS = {
     "SuccessiveHalvingSearch": "repro.core.multi_fidelity",
     "LocalSearch": "repro.core.local_search",
     "EvolutionarySearch": "repro.core.local_search",
+    "ObjectiveSpec": "repro.core.multi_objective",
+    "ObjectiveConstraint": "repro.core.multi_objective",
+    "MultiObjectiveBayesianOptimizer": "repro.core.multi_objective",
+    "get_objective_spec": "repro.core.multi_objective",
+    "resolve_objective_specs": "repro.core.multi_objective",
 }
 
 

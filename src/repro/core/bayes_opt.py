@@ -53,6 +53,10 @@ class OptimizationRecord:
     objective_value: float
     accuracy: float
     firing_rate: float = 0.0
+    #: per-objective measurement dict copied from the evaluation result
+    #: (empty for purely scalar objectives) — the multi-objective engine
+    #: reads its per-objective training targets from here
+    metrics: Dict[str, float] = field(default_factory=dict)
     source: str = "bo"
     #: submission-order index assigned by the asynchronous engine (``None``
     #: for the batch path, whose history order *is* the submission order).
@@ -76,6 +80,7 @@ class OptimizationRecord:
             objective_value=result.objective_value,
             accuracy=result.accuracy,
             firing_rate=result.firing_rate,
+            metrics=dict(result.metrics),
             source=source,
             ticket=ticket,
         )
@@ -249,6 +254,16 @@ class BayesianOptimizer:
         self._keys_watermark = 0
         self._keys_tail: Optional[OptimizationRecord] = None
         self._history_ref = self.history
+        # persistent candidate pool (incremental engine only): unevaluated
+        # candidates survive across iterations, and the encoded matrix handed
+        # to the GP is grown by the fresh draws instead of being rebuilt — so
+        # the per-iteration encoding cost is O(top-up), not O(pool).
+        self._pool_specs: List[ArchitectureSpec] = []
+        self._pool_keys: List[bytes] = []
+        self._pool_matrix: Optional[np.ndarray] = None
+        #: testing switch: when False the matrix is re-encoded from the whole
+        #: pool every refresh — proposals must be identical either way
+        self._pool_matrix_cache_enabled = True
 
     # ------------------------------------------------------------------
     def _evaluate_batch(self, specs: Sequence[ArchitectureSpec], iteration: int, source: str) -> List[OptimizationRecord]:
@@ -277,8 +292,18 @@ class BayesianOptimizer:
                 result.weight_update.apply(self.weight_store)
             record = OptimizationRecord.from_result(iteration, result, source=source)
             self.history.append(record)
+            self._on_record(record)
             records.append(record)
         return records
+
+    def _on_record(self, record: OptimizationRecord) -> None:
+        """Observation hook: called once per record appended to the history.
+
+        The base engine needs nothing here (the surrogate absorbs history
+        lazily in :meth:`_fit_surrogate`); subclasses maintaining additional
+        per-observation state — e.g. the multi-objective engine's Pareto
+        front and hypervolume trace — override it.
+        """
 
     def _reset_incremental_state(self) -> None:
         """Forget everything absorbed from a history that was swapped out."""
@@ -289,6 +314,9 @@ class BayesianOptimizer:
         self._keys_watermark = 0
         self._keys_tail = None
         self._history_ref = self.history
+        self._pool_specs = []
+        self._pool_keys = []
+        self._pool_matrix = None
 
     def _guard_incremental_state(self) -> None:
         """Detect external history replacement (not just truncation).
@@ -352,21 +380,72 @@ class BayesianOptimizer:
         self._modelled_tail = self.history.records[-1] if self.history.records else None
         return self._surrogate
 
+    # ------------------------------------------------------------------
+    # persistent candidate pool
+    # ------------------------------------------------------------------
+    def _refresh_pool(self, exclude_extra: Optional[set] = None) -> None:
+        """Drop evaluated pool entries and top the pool back up with fresh draws.
+
+        The pool — candidates plus their encoded matrix — persists across
+        iterations: already-scored candidates whose acquisition never won
+        stay available (the GP re-scores them against the updated posterior
+        for free), and only the top-up draws are encoded.  ``exclude_extra``
+        adds keys (e.g. the async engine's in-flight set) that must neither
+        survive in nor be drawn into the pool.
+        """
+        excluded = set(self._dedup_keys())
+        if exclude_extra:
+            excluded |= exclude_extra
+        if self._pool_specs:
+            keep = [i for i, key in enumerate(self._pool_keys) if key not in excluded]
+            if len(keep) != len(self._pool_specs):
+                self._pool_specs = [self._pool_specs[i] for i in keep]
+                self._pool_keys = [self._pool_keys[i] for i in keep]
+                if self._pool_matrix is not None:
+                    self._pool_matrix = self._pool_matrix[keep]
+        needed = self.candidate_pool_size - len(self._pool_specs)
+        if needed > 0:
+            fresh = self.search_space.sample_batch(
+                needed, rng=self._rng, exclude=excluded | set(self._pool_keys)
+            )
+            for spec in fresh:
+                self._pool_specs.append(spec)
+                self._pool_keys.append(spec.encode().tobytes())
+            if fresh and self._pool_matrix_cache_enabled and self._pool_matrix is not None:
+                rows = np.array([spec.encode() for spec in fresh], dtype=np.float64)
+                self._pool_matrix = np.concatenate([self._pool_matrix, rows], axis=0)
+            else:
+                self._pool_matrix = None
+        if self._pool_matrix is None and self._pool_specs:
+            self._pool_matrix = np.array(
+                [spec.encode() for spec in self._pool_specs], dtype=np.float64
+            )
+
+    def _pool_pop(self, index: int) -> ArchitectureSpec:
+        """Remove pool candidate ``index`` (it is about to be evaluated)."""
+        self._pool_keys.pop(index)
+        if self._pool_matrix is not None:
+            self._pool_matrix = np.delete(self._pool_matrix, index, axis=0)
+        return self._pool_specs.pop(index)
+
     def _propose_batch(self, surrogate: GaussianProcessRegressor, iteration: int) -> List[ArchitectureSpec]:
+        if self.incremental:
+            self._refresh_pool()
+            if not self._pool_specs:
+                return []
+            return self._propose_batch_incremental(surrogate, iteration)
         evaluated = self._dedup_keys()
         pool = self.search_space.sample_batch(
             self.candidate_pool_size, rng=self._rng, exclude=evaluated
         )
         if not pool:
             return []
-        if self.incremental:
-            return self._propose_batch_incremental(surrogate, pool, iteration)
         return self._propose_batch_legacy(surrogate, pool, iteration)
 
     def _propose_batch_incremental(
-        self, surrogate: GaussianProcessRegressor, pool: List[ArchitectureSpec], iteration: int
+        self, surrogate: GaussianProcessRegressor, iteration: int
     ) -> List[ArchitectureSpec]:
-        """Constant-liar proposal via rank-1 fantasy updates.
+        """Constant-liar proposal via rank-1 fantasy updates over the pool.
 
         The train-pool cross-kernel block is computed once when the fantasy
         posterior is built; each lie appends one row to it and extends the
@@ -374,16 +453,16 @@ class BayesianOptimizer:
         O(k (n^2 + n m)) instead of k full O(n^3) refits.
         """
         best_value = self.history.best().objective_value
-        fantasy = surrogate.fantasize(np.array([spec.encode() for spec in pool], dtype=np.float64))
+        fantasy = surrogate.fantasize(self._pool_matrix)
         proposals: List[ArchitectureSpec] = []
         for _ in range(self.batch_size):
-            if not pool:
+            if not self._pool_specs:
                 break
             mean, std = fantasy.predict()
             scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
             chosen_index = int(np.argmax(scores))
-            proposals.append(pool.pop(chosen_index))
-            if pool and len(proposals) < self.batch_size:
+            proposals.append(self._pool_pop(chosen_index))
+            if self._pool_specs and len(proposals) < self.batch_size:
                 encoding = fantasy.remove(chosen_index)
                 # constant liar: pretend the pick returned the current best
                 fantasy.condition(encoding, best_value)
@@ -440,23 +519,23 @@ class BayesianOptimizer:
         # exclusion keys must share the dedup set's dtype (raw int64 encoding
         # bytes); the float64 view is only for conditioning the posterior
         pending = [spec.encode() for spec in in_flight_specs]
-        exclude = self._dedup_keys() | {encoding.tobytes() for encoding in pending}
-        pool = self.search_space.sample_batch(self.candidate_pool_size, rng=self._rng, exclude=exclude)
-        if not pool:
+        self._refresh_pool(exclude_extra={encoding.tobytes() for encoding in pending})
+        if not self._pool_specs:
             return None
         best_value = self.history.best().objective_value
-        fantasy = surrogate.fantasize(np.array([spec.encode() for spec in pool], dtype=np.float64))
+        fantasy = surrogate.fantasize(self._pool_matrix)
         for encoding in pending:
             fantasy.condition(encoding.astype(np.float64), best_value)
         mean, std = fantasy.predict()
         scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
-        return pool[int(np.argmax(scores))]
+        return self._pool_pop(int(np.argmax(scores)))
 
     def _absorb_async(self, done, sequencer, iteration: int, source: str) -> OptimizationRecord:
         """Record one completed evaluation and sequence its weight update."""
         sequencer.add(done.ticket, done.result.weight_update)
         record = OptimizationRecord.from_result(iteration, done.result, source=source, ticket=done.ticket)
         self.history.append(record)
+        self._on_record(record)
         return record
 
     def _optimize_async(self, num_iterations: int, callback) -> OptimizationHistory:

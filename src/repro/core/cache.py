@@ -186,8 +186,14 @@ def replay_weight_snapshot(
 
 
 def result_to_row(result: EvaluationResult) -> Dict[str, object]:
-    """JSON-serialisable row of the quantities a search needs back."""
-    return {
+    """JSON-serialisable row of the quantities a search needs back.
+
+    The optional ``metrics`` field carries the per-objective measurement dict
+    (``val_accuracy``, ``energy_nj``, ``latency_steps``, ...) so a store hit
+    replays *every* objective of a multi-objective search; rows written
+    before the field existed simply replay with empty metrics.
+    """
+    row = {
         "encoding": [int(v) for v in result.spec.encode()],
         "objective_value": float(result.objective_value),
         "accuracy": float(result.accuracy),
@@ -195,6 +201,9 @@ def result_to_row(result: EvaluationResult) -> Dict[str, object]:
         "macs": float(result.macs),
         "extra": {str(k): float(v) for k, v in result.extra.items()},
     }
+    if result.metrics:
+        row["metrics"] = {str(k): float(v) for k, v in result.metrics.items()}
+    return row
 
 
 def row_to_result(row: Dict[str, object], spec: ArchitectureSpec) -> EvaluationResult:
@@ -210,6 +219,7 @@ def row_to_result(row: Dict[str, object], spec: ArchitectureSpec) -> EvaluationR
         firing_rate=float(row.get("firing_rate", 0.0)),
         macs=float(row.get("macs", 0.0)),
         extra=dict(row.get("extra", {})),
+        metrics=dict(row.get("metrics", {})),
     )
 
 
@@ -262,21 +272,32 @@ class PersistentEvaluationStore:
             self._rows[key] = row
 
     def reload(self) -> int:
-        """(Re)read the backing file(s); returns the number of rows loaded."""
-        self._rows.clear()
-        self.skipped_lines = 0
-        self._needs_newline = False
-        for path in self._source_paths():
-            try:
-                text = path.read_text()
-            except OSError:  # pragma: no cover - concurrently removed shard
-                continue
-            if path == self.path:
-                # a crashed writer can leave a torn line without a newline;
-                # remember to start the next append on a fresh line so it
-                # stays parseable
-                self._needs_newline = bool(text) and not text.endswith("\n")
-            self._ingest(text)
+        """(Re)read the backing file(s); returns the number of rows loaded.
+
+        A source file vanishing mid-read means a concurrent compaction pass
+        folded it into the base file (shards are unlinked only *after* the
+        merged base was atomically replaced), so the whole read is retried:
+        the next pass sees the post-compaction layout and loses no rows.
+        """
+        for attempt in range(3):
+            self._rows.clear()
+            self.skipped_lines = 0
+            self._needs_newline = False
+            vanished = False
+            for path in self._source_paths():
+                try:
+                    text = path.read_text()
+                except OSError:
+                    vanished = True
+                    continue
+                if path == self.path:
+                    # a crashed writer can leave a torn line without a
+                    # newline; remember to start the next append on a fresh
+                    # line so it stays parseable
+                    self._needs_newline = bool(text) and not text.endswith("\n")
+                self._ingest(text)
+            if not vanished or attempt == 2:
+                break
         return len(self._rows)
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
@@ -295,7 +316,13 @@ class PersistentEvaluationStore:
         if self._needs_newline:
             line = "\n" + line
             self._needs_newline = False
-        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        except FileNotFoundError:
+            # the parent directory can disappear under a live store (e.g. a
+            # compaction pass removed an emptied shard directory); recreate it
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
         try:
             # loop on short writes: a partial os.write would otherwise drop
             # the row's tail and concatenate the next writer's line onto it
@@ -404,6 +431,69 @@ class ShardedEvaluationStore(PersistentEvaluationStore):
         legacy = [self.base_path] if self.base_path.exists() else []
         shards = sorted(self.shard_dir.glob("*.jsonl")) if self.shard_dir.exists() else []
         return legacy + shards
+
+    def compact(self) -> Dict[str, int]:
+        """Merge every shard (and the legacy file) into the base JSONL.
+
+        Long-lived cache directories accumulate one shard per writer process;
+        each reload then re-parses every shard.  Compaction folds the merged
+        read view back into the single base file — after which fresh stores
+        read one file again — while keeping the duplicate-key resolution of
+        :meth:`reload` (the compacted file holds exactly the merged view).
+
+        The pass is atomic and lossless under concurrent writers: the merged
+        view is written to a temporary file and ``os.replace``d over the base
+        path.  Each merged shard is then atomically *renamed* aside before
+        any deletion decision — a writer's next append simply recreates its
+        shard path as a fresh file, which survives untouched — and the
+        renamed file is deleted only if its size still matches the size
+        observed before it was read; if rows landed in it meanwhile, it is
+        renamed back into the shard directory under a carry name and stays a
+        live layer until the next compaction.  (The only remaining window is
+        an append whose ``open()`` resolved the old path right as the rename
+        happened and whose write landed after the post-rename size check — a
+        lost row there costs one re-evaluation, never a corrupted view.)
+
+        Returns a summary dict: ``rows`` written to the base file,
+        ``shards_merged`` (deleted) and ``shards_kept`` (still live).
+        """
+        shard_sizes: Dict[Path, int] = {}
+        for shard in sorted(self.shard_dir.glob("*.jsonl")) if self.shard_dir.exists() else []:
+            try:
+                shard_sizes[shard] = shard.stat().st_size
+            except OSError:  # pragma: no cover - concurrently removed shard
+                continue
+        self.reload()
+        tmp = self.base_path.with_name(self.base_path.name + f".compact-{self.writer_id}.tmp")
+        with open(tmp, "w") as handle:
+            for key in sorted(self._rows):
+                handle.write(json.dumps(self._rows[key], separators=(",", ":")) + "\n")
+        os.replace(tmp, self.base_path)
+        merged = kept = 0
+        for shard, size_before in shard_sizes.items():
+            tombstone = shard.with_name(shard.stem + f".compact-{uuid.uuid4().hex[:8]}.tomb")
+            try:
+                os.replace(shard, tombstone)
+                size_now = tombstone.stat().st_size
+            except OSError:  # pragma: no cover - concurrently removed shard
+                continue
+            if size_now == size_before:
+                tombstone.unlink()
+                merged += 1
+            else:
+                # rows landed after the merge snapshot: keep them as a carry
+                # shard (the original path may already be a writer's fresh
+                # file, so the carry gets its own name)
+                os.replace(tombstone, shard.with_name(shard.stem + "-carry.jsonl"))
+                kept += 1
+        try:
+            self.shard_dir.rmdir()
+        except OSError:
+            pass  # non-empty (kept shards) or already gone
+        # this process's own shard may have been folded in; the next append
+        # starts a fresh shard file, so the newline bookkeeping resets
+        self._needs_newline = False
+        return {"rows": len(self._rows), "shards_merged": merged, "shards_kept": kept}
 
     def __getstate__(self):
         state = self.__dict__.copy()

@@ -1,0 +1,531 @@
+"""Multi-objective Bayesian optimization: accuracy–energy–latency Pareto search.
+
+The single-objective engine (:class:`~repro.core.bayes_opt.BayesianOptimizer`)
+optimises validation accuracy alone, yet the paper's analysis is inherently
+multi-objective: DSC skip connections lower firing rates but inflate MAC
+counts, ASC keeps MACs flat but raises firing rates.  This module turns the
+existing BO stack into a hardware-aware optimizer:
+
+* :class:`ObjectiveSpec` names one objective and where to read it from an
+  evaluation's per-objective ``metrics`` dict (``val_accuracy`` from the
+  trainer path, ``energy_nj``/``macs`` from the MAC/energy model of
+  :mod:`repro.snn.mac`, ``latency_steps`` from the simulation window).  All
+  internal vectors are **minimisation** vectors; maximised metrics are
+  sign-flipped by their spec.
+* :class:`MultiObjectiveBayesianOptimizer` maintains **one incremental GP per
+  objective** (the same rank-k Cholesky updates as the scalar engine — a new
+  observation is O(n^2) per objective) and proposes candidates by **random
+  scalarization**: per proposal a fresh Chebyshev weight vector is drawn
+  (ParEGO-style, augmented with a small weighted-sum term) and the scalarised
+  posterior is scored by the *existing* acquisition functions (UCB/EI/PI).
+  Resampling the weights every proposal sweeps the whole front instead of
+  converging to one compromise point.
+* Hard constraints (:class:`ObjectiveConstraint`, e.g. ``energy <= budget``)
+  weight the acquisition by the posterior probability of feasibility
+  (:func:`~repro.gp.acquisition.probability_in_bounds`), so the search spends
+  its budget inside the feasible region without discarding the information
+  infeasible evaluations carry.
+* Every evaluation is inserted into a :class:`~repro.core.pareto.ParetoFront`;
+  :attr:`~MultiObjectiveBayesianOptimizer.hypervolume_history` traces the
+  hypervolume indicator against a reference point fixed after the warm-start
+  evaluations, so front quality per evaluation is a tracked number.
+
+The evaluation path is untouched: any objective producing
+``EvaluationResult.metrics`` works, including :class:`~repro.core.cache.CachedObjective`
+(rows persist the metrics dict, so cache hits replay *all* objectives) and
+worker processes (batch or async).  The asynchronous engine absorbs
+completions in **submission order** — slightly less adaptive than the scalar
+engine's completion-order absorption, but it makes the proposal sequence a
+pure function of the seed, which is what lets a fully-cached re-run reproduce
+an identical front at any worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.bayes_opt import BayesianOptimizer, OptimizationHistory, OptimizationRecord
+from repro.core.pareto import ParetoFront
+from repro.core.search_space import ArchitectureSpec
+from repro.gp.acquisition import feasibility_weighted, probability_in_bounds
+from repro.gp.gp import GaussianProcessRegressor
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One search objective: a named view onto the per-objective metrics dict.
+
+    ``metric`` is the key read from ``EvaluationResult.metrics`` /
+    ``OptimizationRecord.metrics``; ``direction`` declares whether the raw
+    metric is minimised or maximised.  :meth:`value` returns the
+    *minimisation* view (maximised metrics are negated), which is the scale
+    every GP, scalarization and Pareto vector in this module uses.
+    """
+
+    name: str
+    metric: str
+    direction: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError(f"direction must be 'min' or 'max', got {self.direction!r}")
+
+    @property
+    def sign(self) -> float:
+        """+1 for minimised metrics, -1 for maximised ones."""
+        return -1.0 if self.direction == "max" else 1.0
+
+    def raw(self, metrics: Dict[str, float]) -> float:
+        """The metric on its natural scale; raises if the evaluation lacks it."""
+        if self.metric not in metrics:
+            raise KeyError(
+                f"objective {self.name!r} needs metric {self.metric!r}, but the evaluation "
+                f"only recorded {sorted(metrics) or 'no metrics'} — enable the measurement "
+                f"on the objective (e.g. measure_energy=True for energy/macs/latency)"
+            )
+        return float(metrics[self.metric])
+
+    def value(self, metrics: Dict[str, float]) -> float:
+        """Minimisation-scale value (sign-flipped for maximised metrics)."""
+        return self.sign * self.raw(metrics)
+
+
+#: built-in objectives, keyed by the names the CLI accepts
+BUILTIN_OBJECTIVES: Dict[str, ObjectiveSpec] = {
+    "accuracy": ObjectiveSpec("accuracy", metric="val_accuracy", direction="max"),
+    "firing_rate": ObjectiveSpec("firing_rate", metric="firing_rate", direction="min"),
+    "energy": ObjectiveSpec("energy", metric="energy_nj", direction="min"),
+    "macs": ObjectiveSpec("macs", metric="macs", direction="min"),
+    "latency": ObjectiveSpec("latency", metric="latency_steps", direction="min"),
+}
+
+
+def get_objective_spec(name_or_spec: Union[str, ObjectiveSpec]) -> ObjectiveSpec:
+    """Resolve an objective by registry name, or pass an explicit spec through."""
+    if isinstance(name_or_spec, ObjectiveSpec):
+        return name_or_spec
+    key = str(name_or_spec).strip().lower().replace("-", "_")
+    if key not in BUILTIN_OBJECTIVES:
+        raise KeyError(f"unknown objective {name_or_spec!r}; available: {sorted(BUILTIN_OBJECTIVES)}")
+    return BUILTIN_OBJECTIVES[key]
+
+
+def resolve_objective_specs(objectives: Sequence[Union[str, ObjectiveSpec]]) -> Tuple[ObjectiveSpec, ...]:
+    """Resolve a sequence of objective names/specs, rejecting duplicates."""
+    specs = tuple(get_objective_spec(obj) for obj in objectives)
+    if len(specs) < 2:
+        raise ValueError("multi-objective search needs at least two objectives")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objectives: {names}")
+    return specs
+
+
+@dataclass(frozen=True)
+class ObjectiveConstraint:
+    """Hard constraint on one objective's **raw** metric scale.
+
+    ``upper``/``lower`` bound the metric on its natural scale (e.g.
+    ``ObjectiveConstraint("energy", upper=budget)`` reads "energy_nj must not
+    exceed budget").  The constrained objective must be one of the search
+    objectives — its GP provides the feasibility posterior.
+    """
+
+    objective: str
+    upper: Optional[float] = None
+    lower: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.upper is None and self.lower is None:
+            raise ValueError("constraint needs at least one of upper/lower")
+
+    def feasible(self, spec: ObjectiveSpec, metrics: Dict[str, float]) -> bool:
+        """Whether an observed evaluation satisfies the constraint."""
+        raw = spec.raw(metrics)
+        if self.upper is not None and raw > self.upper:
+            return False
+        if self.lower is not None and raw < self.lower:
+            return False
+        return True
+
+    def value_bounds(self, spec: ObjectiveSpec) -> Tuple[Optional[float], Optional[float]]:
+        """The (lower, upper) bounds on the *minimisation* scale the GP models."""
+        if spec.direction == "min":
+            return self.lower, self.upper
+        lower = -self.upper if self.upper is not None else None
+        upper = -self.lower if self.lower is not None else None
+        return lower, upper
+
+
+class MultiObjectiveBayesianOptimizer(BayesianOptimizer):
+    """Pareto search over the skip-connection space via random scalarization.
+
+    Parameters (on top of :class:`~repro.core.bayes_opt.BayesianOptimizer`,
+    whose evaluation machinery — batch workers, deferred weight updates,
+    persistent candidate pool — is inherited unchanged):
+
+    objectives:
+        Objective names or :class:`ObjectiveSpec` instances (>= 2).  Each gets
+        its own incremental GP over the architecture encoding.
+    constraints:
+        :class:`ObjectiveConstraint` instances; proposals are weighted by the
+        posterior probability of satisfying all of them, and the scalarised
+        incumbent fed to the acquisition is the best *feasible* observation
+        (falling back to the unconstrained best while nothing is feasible).
+    reference_point:
+        Optional hypervolume reference on the **minimisation** scale (note
+        maximised metrics are negated, so an accuracy reference of e.g. 0.2
+        is written as -0.2).  When omitted, the reference is derived once
+        from the warm-start observations — nadir plus ``reference_margin``
+        of the observed range per objective — and then held fixed, so the
+        recorded hypervolume trace is non-decreasing by construction.
+    scalarization_rho:
+        Weight of the linear term in the augmented Chebyshev scalarization
+        ``max_j(w_j z_j) + rho * sum_j(w_j z_j)`` (ParEGO's rho).
+    front_capacity:
+        Optional bound on the retained front size (crowding-based truncation;
+        ``None`` keeps every non-dominated point).
+
+    The history's scalar ``objective_value`` is the first objective's
+    minimisation value, so :meth:`history.best`, incumbent curves and every
+    other single-objective consumer keep working; the real output is
+    :attr:`front` and :attr:`hypervolume_history`.
+    """
+
+    def __init__(
+        self,
+        search_space,
+        objective,
+        objectives: Sequence[Union[str, ObjectiveSpec]] = ("accuracy", "energy"),
+        constraints: Sequence[ObjectiveConstraint] = (),
+        reference_point: Optional[Sequence[float]] = None,
+        reference_margin: float = 0.1,
+        scalarization_rho: float = 0.05,
+        front_capacity: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(search_space, objective, **kwargs)
+        self.objectives = resolve_objective_specs(objectives)
+        self.constraints = tuple(constraints)
+        self._objectives_by_name = {spec.name: spec for spec in self.objectives}
+        for constraint in self.constraints:
+            if constraint.objective not in self._objectives_by_name:
+                raise ValueError(
+                    f"constraint targets {constraint.objective!r}, which is not among the "
+                    f"search objectives {sorted(self._objectives_by_name)}"
+                )
+        if reference_margin <= 0:
+            raise ValueError("reference_margin must be positive")
+        if scalarization_rho < 0:
+            raise ValueError("scalarization_rho must be non-negative")
+        self.reference_margin = float(reference_margin)
+        self.scalarization_rho = float(scalarization_rho)
+        self.front = ParetoFront(capacity=front_capacity)
+        self.reference_point: Optional[np.ndarray] = (
+            np.asarray(reference_point, dtype=np.float64).reshape(-1)
+            if reference_point is not None
+            else None
+        )
+        if self.reference_point is not None and len(self.reference_point) != len(self.objectives):
+            raise ValueError(
+                f"reference point has {len(self.reference_point)} entries for "
+                f"{len(self.objectives)} objectives"
+            )
+        self._reference_fixed = reference_point is not None
+        #: hypervolume after each observation made once the reference existed
+        self.hypervolume_history: List[float] = []
+        self._models: Dict[str, GaussianProcessRegressor] = {}
+        #: per-objective minimisation values of every observed record, aligned
+        #: with the history; grown in :meth:`_on_record`
+        self._observed: List[np.ndarray] = []
+        self._observed_feasible: List[bool] = []
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def _reset_incremental_state(self) -> None:
+        super()._reset_incremental_state()
+        self._models = {}
+        self._rebuild_observations()
+
+    def _rebuild_observations(self) -> None:
+        """Re-derive every observation-dependent structure from the history.
+
+        The front, the feasibility flags, a derived reference point and the
+        hypervolume trace are all pure functions of the record sequence, so
+        a history swapped in from outside (the in-API pattern the base
+        class's guard detects) replays cleanly instead of desyncing.
+        """
+        self._observed = []
+        self._observed_feasible = []
+        self.front = ParetoFront(capacity=self.front.capacity)
+        if not self._reference_fixed:
+            self.reference_point = None
+        self.hypervolume_history = []
+        for record in self.history.records:
+            self._on_record(record)
+
+    def record_values(self, record: OptimizationRecord) -> np.ndarray:
+        """The record's minimisation vector over this search's objectives."""
+        return np.array([spec.value(record.metrics) for spec in self.objectives])
+
+    def _record_feasible(self, record: OptimizationRecord) -> bool:
+        return all(
+            constraint.feasible(self._objectives_by_name[constraint.objective], record.metrics)
+            for constraint in self.constraints
+        )
+
+    def _on_record(self, record: OptimizationRecord) -> None:
+        values = self.record_values(record)
+        self._observed.append(values)
+        self._observed_feasible.append(self._record_feasible(record))
+        self.front.insert(values, payload={"record": record})
+        if self.reference_point is None and len(self._observed) >= self.initial_points:
+            self.reference_point = self._derive_reference()
+        if self.reference_point is not None:
+            self.hypervolume_history.append(self.front.hypervolume(self.reference_point))
+
+    def _derive_reference(self) -> np.ndarray:
+        observed = np.stack(self._observed)
+        nadir = observed.max(axis=0)
+        spread = observed.max(axis=0) - observed.min(axis=0)
+        margin = self.reference_margin * np.where(spread > 0, spread, np.maximum(np.abs(nadir), 1.0))
+        return nadir + margin
+
+    def hypervolume(self) -> float:
+        """Current front hypervolume (0 until the reference point exists)."""
+        if self.reference_point is None:
+            return 0.0
+        return self.front.hypervolume(self.reference_point)
+
+    # ------------------------------------------------------------------
+    # surrogates: one incremental GP per objective
+    # ------------------------------------------------------------------
+    def _fit_surrogate(self) -> Dict[str, GaussianProcessRegressor]:
+        """Absorb new observations into every per-objective GP (rank-k update)."""
+        self._guard_incremental_state()
+        if len(self._observed) != len(self.history):
+            # records appended to the history from outside never passed
+            # through _on_record; replay them before they train the GPs
+            self._rebuild_observations()
+        new_records = self.history.records[self._num_modelled :]
+        if new_records:
+            x_new = np.array([record.spec.encode() for record in new_records], dtype=np.float64)
+            x_all: Optional[np.ndarray] = None
+            for spec in self.objectives:
+                model = self._models.get(spec.name)
+                if model is None or not self.incremental:
+                    if x_all is None:
+                        # shared across objectives: only the targets differ
+                        x_all = np.array(
+                            [record.spec.encode() for record in self.history], dtype=np.float64
+                        )
+                    y_all = np.array([spec.value(record.metrics) for record in self.history])
+                    model = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+                    model.fit(x_all, y_all)
+                    self._models[spec.name] = model
+                else:
+                    y_new = np.array([spec.value(record.metrics) for record in new_records])
+                    model.update(x_new, y_new)
+        self._num_modelled = len(self.history)
+        self._modelled_tail = self.history.records[-1] if self.history.records else None
+        return self._models
+
+    # ------------------------------------------------------------------
+    # random-scalarization proposals
+    # ------------------------------------------------------------------
+    def _draw_weights(self) -> np.ndarray:
+        """One Chebyshev weight vector, uniform on the simplex (Dirichlet(1))."""
+        return self._rng.dirichlet(np.ones(len(self.objectives)))
+
+    def _scalarize(self, z: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Augmented Chebyshev scalarization of normalised rows ``z`` (n, k)."""
+        weighted = z * weights
+        return weighted.max(axis=1) + self.scalarization_rho * weighted.sum(axis=1)
+
+    def _best_scalarized(
+        self, observed_z: np.ndarray, weights: np.ndarray
+    ) -> float:
+        """Best observed scalarised value — feasible observations first."""
+        scalarized = self._scalarize(observed_z, weights)
+        feasible = np.asarray(self._observed_feasible, dtype=bool)
+        if self.constraints and np.any(feasible):
+            return float(scalarized[feasible].min())
+        return float(scalarized.min())
+
+    def _feasibility_probability(self, models, matrix: np.ndarray) -> Optional[np.ndarray]:
+        """Posterior probability that each pool candidate satisfies all constraints."""
+        if not self.constraints:
+            return None
+        probability = np.ones(matrix.shape[0])
+        for constraint in self.constraints:
+            spec = self._objectives_by_name[constraint.objective]
+            mean, std = models[spec.name].predict(matrix)
+            lower, upper = constraint.value_bounds(spec)
+            probability = probability * probability_in_bounds(mean, std, lower=lower, upper=upper)
+        return probability
+
+    def _propose_one(self, models, iteration: int) -> ArchitectureSpec:
+        """Score the pool under a freshly drawn scalarization and pop the winner."""
+        weights = self._draw_weights()
+        observed = np.stack(self._observed)
+        ideal = observed.min(axis=0)
+        spread = observed.max(axis=0) - ideal
+        spread = np.where(spread > 0, spread, 1.0)
+        matrix = self._pool_matrix
+        means = np.empty((matrix.shape[0], len(self.objectives)))
+        stds = np.empty_like(means)
+        for j, spec in enumerate(self.objectives):
+            means[:, j], stds[:, j] = models[spec.name].predict(matrix)
+        z_mean = (means - ideal) / spread
+        mean_s = self._scalarize(z_mean, weights)
+        # heuristic scalarised uncertainty: weight-combined per-objective
+        # standard deviations on the normalised scale (exact for the linear
+        # term; conservative for the max term)
+        std_s = np.sqrt((((stds / spread) * weights) ** 2).sum(axis=1))
+        best = self._best_scalarized((observed - ideal) / spread, weights)
+        scores = self.acquisition(mean_s, std_s, best_observed=best, iteration=iteration)
+        probability = self._feasibility_probability(models, matrix)
+        if probability is not None:
+            scores = feasibility_weighted(scores, probability)
+        return self._pool_pop(int(np.argmax(scores)))
+
+    def _propose_batch(self, surrogate, iteration: int) -> List[ArchitectureSpec]:
+        """A batch of proposals, each under its own random scalarization.
+
+        Weight resampling per pick replaces the scalar engine's constant-liar
+        fantasies: distinct Chebyshev weights aim each proposal at a
+        different region of the front, which keeps a batch diverse without
+        conditioning the per-objective posteriors on lies.
+        """
+        self._refresh_pool()
+        proposals: List[ArchitectureSpec] = []
+        for _ in range(self.batch_size):
+            if not self._pool_specs:
+                break
+            proposals.append(self._propose_one(surrogate, iteration))
+        return proposals
+
+    def _propose_async(self, in_flight_specs, iteration: int) -> Optional[ArchitectureSpec]:
+        models = self._fit_surrogate()
+        pending = {spec.encode().tobytes() for spec in in_flight_specs}
+        self._refresh_pool(exclude_extra=pending)
+        if not self._pool_specs:
+            return None
+        return self._propose_one(models, iteration)
+
+    # ------------------------------------------------------------------
+    # deterministic asynchronous engine
+    # ------------------------------------------------------------------
+    def _optimize_async(self, num_iterations: int, callback) -> OptimizationHistory:
+        """Asynchronous engine with **submission-order** absorption.
+
+        Up to ``async_workers`` evaluations stay in flight, but completions
+        are buffered and observed strictly in ticket order, and each in-order
+        absorption immediately submits exactly one replacement proposal —
+        never a batch of them.  Proposal ``p`` therefore always sees the
+        first ``p - async_workers`` results absorbed and the rest pending,
+        whatever order workers actually finished in: the proposal sequence
+        is a pure function of the seed, never of scheduling.  That
+        determinism is what lets a fully-cached re-run replay the identical
+        front at any worker count; the price is that a worker can idle
+        behind an out-of-order straggler (the scalar engine, which has no
+        such reproducibility contract, absorbs in completion order instead).
+        """
+        from repro.core.async_eval import AsyncEvaluationExecutor, WeightUpdateSequencer
+
+        budget = num_iterations * self.batch_size
+        sequencer = WeightUpdateSequencer(self.weight_store)
+        defer = self._weight_base is not None and self.weight_store is not None
+        if defer:
+            previous_defer = self._weight_base.defer_updates
+            self._weight_base.defer_updates = True
+        try:
+            with AsyncEvaluationExecutor(self.objective, workers=self.async_workers) as executor:
+                in_flight: Dict[int, ArchitectureSpec] = {}
+                buffered: Dict[int, object] = {}
+                next_ticket = 0
+                num_init = 0
+                absorbed = 0
+                proposed = 0
+
+                def pending_specs():
+                    return itertools.chain(
+                        in_flight.values(), (done.spec for done in buffered.values())
+                    )
+
+                def propose_one() -> bool:
+                    """Submit one replacement proposal; False once the budget is spent."""
+                    nonlocal proposed
+                    if proposed >= budget:
+                        return False
+                    spec = self._propose_async(pending_specs(), iteration=1 + proposed // self.batch_size)
+                    if spec is None:
+                        proposed = budget
+                        return False
+                    in_flight[executor.submit(spec)] = spec
+                    proposed += 1
+                    return True
+
+                def absorb_ready(replace: bool) -> None:
+                    """Absorb buffered completions in ticket order, one at a time.
+
+                    With ``replace`` set, each absorption immediately submits
+                    exactly one replacement — the interleaving that keeps the
+                    absorbed-prefix-per-proposal independent of completion
+                    order.
+                    """
+                    nonlocal next_ticket, absorbed
+                    while next_ticket in buffered:
+                        done = buffered.pop(next_ticket)
+                        if next_ticket < num_init:
+                            self._absorb_async(done, sequencer, iteration=0, source="init")
+                        else:
+                            absorbed += 1
+                            iteration = 1 + (absorbed - 1) // self.batch_size
+                            self._absorb_async(done, sequencer, iteration=iteration, source="bo")
+                        next_ticket += 1
+                        if replace:
+                            propose_one()
+
+                if not len(self.history):
+                    for spec in self._initial_specs():
+                        in_flight[executor.submit(spec)] = spec
+                    num_init = len(in_flight)
+                    while in_flight:
+                        done = executor.next_completed()
+                        del in_flight[done.ticket]
+                        buffered[done.ticket] = done
+                        absorb_ready(replace=False)
+                    if callback is not None:
+                        callback(0, self.history)
+                while len(in_flight) < self.async_workers and propose_one():
+                    pass
+                # buffered drains whenever in_flight empties (an out-of-order
+                # ticket implies an earlier one still running), so in_flight
+                # alone is the loop condition
+                while in_flight:
+                    done = executor.next_completed()
+                    del in_flight[done.ticket]
+                    buffered[done.ticket] = done
+                    before = absorbed
+                    absorb_ready(replace=True)
+                    boundary = absorbed % self.batch_size == 0 or (
+                        not in_flight and not buffered and proposed >= budget
+                    )
+                    if callback is not None and absorbed > before and boundary:
+                        callback(1 + (absorbed - 1) // self.batch_size, self.history)
+        finally:
+            if defer:
+                self._weight_base.defer_updates = previous_defer
+        return self.history
+
+    # ------------------------------------------------------------------
+    def front_records(self) -> List[OptimizationRecord]:
+        """The history records behind the current front, by first objective."""
+        records = [point.payload["record"] for point in self.front]
+        return sorted(records, key=lambda record: self.record_values(record)[0])

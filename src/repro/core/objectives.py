@@ -36,6 +36,14 @@ class EvaluationResult:
     optimizer after a parallel batch, a cache replaying a snapshot — applies
     the update to the shared :class:`~repro.core.weight_sharing.WeightStore`
     in the parent process.
+
+    ``metrics`` is the per-objective measurement dict consumed by the
+    multi-objective search layer (:mod:`repro.core.multi_objective`):
+    every quantity an :class:`~repro.core.multi_objective.ObjectiveSpec` may
+    select (``val_accuracy``, ``firing_rate``, ``macs``, ``energy_nj``,
+    ``latency_steps``, ...) keyed by name.  It is persisted on evaluation
+    rows and restored on cache hits, so a cached run replays *all*
+    objectives, not just the scalar ``objective_value``.
     """
 
     spec: ArchitectureSpec
@@ -45,6 +53,7 @@ class EvaluationResult:
     macs: float = 0.0
     history: Optional[TrainingHistory] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
     weight_update: Optional[WeightUpdate] = None
 
     def __post_init__(self) -> None:
@@ -98,7 +107,17 @@ class AccuracyDropObjective(Objective):
         order within a batch cannot influence results).
     measure_firing_rate / measure_macs:
         Record spiking statistics / MAC counts for every candidate (needed by
-        the energy-aware objective and by the Table-I report).
+        the energy-aware objective and by the Table-I report).  MAC counting
+        traces a real forward pass, but the count depends only on the
+        architecture — never on the trained weights — so traces are memoised
+        by architecture fingerprint (:attr:`mac_traces` counts the actual
+        forward traces performed, for tests and profiling).
+    measure_energy:
+        Additionally derive the energy/latency metric fields
+        (:func:`repro.snn.mac.energy_metrics`) from the MAC count, the
+        measured firing rate and the simulation window; implies both
+        ``measure_macs`` and ``measure_firing_rate``.  The fields land in
+        ``EvaluationResult.metrics`` for the multi-objective search layer.
     """
 
     def __init__(
@@ -112,6 +131,7 @@ class AccuracyDropObjective(Objective):
         update_store: bool = True,
         measure_firing_rate: bool = True,
         measure_macs: bool = False,
+        measure_energy: bool = False,
         build_seed: int = 0,
     ) -> None:
         self.template = template
@@ -121,10 +141,18 @@ class AccuracyDropObjective(Objective):
         self.reference_accuracy = reference_accuracy
         self.weight_store = weight_store
         self.update_store = bool(update_store)
-        self.measure_firing_rate = bool(measure_firing_rate)
-        self.measure_macs = bool(measure_macs)
+        self.measure_energy = bool(measure_energy)
+        self.measure_firing_rate = bool(measure_firing_rate) or self.measure_energy
+        self.measure_macs = bool(measure_macs) or self.measure_energy
         self.build_seed = int(build_seed)
         self.num_evaluations = 0
+        #: MAC counts are a pure function of the architecture (weights never
+        #: change layer geometry), so the forward trace is memoised per
+        #: architecture fingerprint; re-evaluating a candidate — or replaying
+        #: it at another fidelity — reuses the count instead of re-tracing
+        self._mac_cache: Dict[bytes, float] = {}
+        #: number of actual MACCounter forward traces performed (cache misses)
+        self.mac_traces = 0
         #: when True the objective never mutates ``weight_store`` itself; the
         #: trained state only travels back via ``EvaluationResult.weight_update``
         self.defer_updates = False
@@ -162,10 +190,22 @@ class AccuracyDropObjective(Objective):
 
         macs = 0.0
         if self.measure_macs and len(self.splits.val):
-            sample = self.splits.val.inputs[:1]
-            if self.splits.is_temporal:
-                sample = sample[:, 0]
-            macs = MACCounter(model).count(sample).total
+            macs = self._count_macs(spec, model)
+
+        # only measured quantities enter the metrics dict: a constant 0.0 for
+        # an unmeasured firing rate would silently satisfy ObjectiveSpec's
+        # missing-metric guard and train a GP on a fabricated objective
+        metrics: Dict[str, float] = {"val_accuracy": float(accuracy)}
+        if self.measure_firing_rate:
+            metrics["firing_rate"] = float(firing_rate)
+        if self.measure_energy and macs > 0:
+            from repro.snn.mac import energy_metrics
+
+            metrics.update(
+                energy_metrics(macs, firing_rate, int(self.training_config.num_steps))
+            )
+        elif macs > 0:
+            metrics["macs"] = float(macs)
 
         weight_update = None
         if self.weight_store is not None and self.update_store:
@@ -183,8 +223,22 @@ class AccuracyDropObjective(Objective):
             macs=macs,
             history=history,
             extra={"num_skips": float(spec.total_skips())},
+            metrics=metrics,
             weight_update=weight_update,
         )
+
+    def _count_macs(self, spec: ArchitectureSpec, model) -> float:
+        """Per-step MAC count of ``spec``, memoised by architecture fingerprint."""
+        key = spec.encode().tobytes()
+        macs = self._mac_cache.get(key)
+        if macs is None:
+            sample = self.splits.val.inputs[:1]
+            if self.splits.is_temporal:
+                sample = sample[:, 0]
+            macs = float(MACCounter(model).count(sample).total)
+            self._mac_cache[key] = macs
+            self.mac_traces += 1
+        return macs
 
 
 class EnergyAwareObjective(Objective):
@@ -229,6 +283,7 @@ class EnergyAwareObjective(Objective):
             macs=result.macs,
             history=result.history,
             extra={**result.extra, "penalty": penalty, "raw_objective": result.objective_value},
+            metrics=result.metrics,
             weight_update=result.weight_update,
         )
 
@@ -287,10 +342,17 @@ class SyntheticWeightObjective(Objective):
             weight_update = WeightUpdate(state=state, score=accuracy)
             if not self.defer_updates:
                 weight_update.apply(self.weight_store)
+        # a synthetic "energy": anti-correlated with accuracy through the skip
+        # count, so multi-objective smoke tests see a genuine trade-off
         return EvaluationResult(
             spec=spec,
             objective_value=value,
             accuracy=accuracy,
+            metrics={
+                "val_accuracy": accuracy,
+                "energy_nj": 1.0 + 0.25 * spec.total_skips() + float(np.sin(encoding).sum() ** 2),
+                "firing_rate": 0.5 + 0.5 * float(np.tanh(value)),
+            },
             weight_update=weight_update,
         )
 

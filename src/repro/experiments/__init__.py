@@ -10,6 +10,9 @@
   (dataset, model) pair;
 * :mod:`repro.experiments.figure3` — Bayesian optimization vs random search
   (Fig. 3): incumbent accuracy per iteration, mean ± std over repeated runs;
+* :mod:`repro.experiments.pareto_front` — the multi-objective search:
+  accuracy–energy–latency Pareto front and hypervolume trace over the same
+  search space (the trade-off the paper's scalar objective collapses);
 * :mod:`repro.experiments.ablations` — additional studies of the design
   choices (acquisition function, kernel, weight sharing, surrogate slope,
   DSC-vs-ASC energy trade-off);
@@ -21,6 +24,13 @@ from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.figure1 import Figure1Point, Figure1Result, run_figure1, run_figure1_pair
 from repro.experiments.table1 import Table1Result, Table1Row, run_table1, run_table1_cell
 from repro.experiments.figure3 import Figure3Result, SearchCurve, run_figure3
+from repro.experiments.pareto_front import (
+    ParetoFrontPoint,
+    ParetoResult,
+    format_pareto,
+    plot_pareto,
+    run_pareto_front,
+)
 from repro.experiments.ablations import (
     AblationResult,
     run_acquisition_ablation,
@@ -29,7 +39,13 @@ from repro.experiments.ablations import (
     run_weight_sharing_ablation,
 )
 from repro.experiments.reporting import format_figure1, format_figure3, format_series, format_table, format_table1
-from repro.experiments.plots import ascii_bar_chart, ascii_line_chart, plot_figure1, plot_figure3
+from repro.experiments.plots import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    ascii_scatter,
+    plot_figure1,
+    plot_figure3,
+)
 from repro.experiments.io import load_result, save_result
 
 __all__ = [
@@ -46,6 +62,11 @@ __all__ = [
     "Figure3Result",
     "SearchCurve",
     "run_figure3",
+    "ParetoFrontPoint",
+    "ParetoResult",
+    "format_pareto",
+    "plot_pareto",
+    "run_pareto_front",
     "AblationResult",
     "run_acquisition_ablation",
     "run_dsc_vs_asc_energy",
@@ -58,6 +79,7 @@ __all__ = [
     "format_table1",
     "ascii_bar_chart",
     "ascii_line_chart",
+    "ascii_scatter",
     "plot_figure1",
     "plot_figure3",
     "load_result",

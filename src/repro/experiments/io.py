@@ -19,6 +19,7 @@ from repro.core.adjacency import BlockAdjacency
 from repro.core.search_space import ArchitectureSpec
 from repro.experiments.figure1 import Figure1Point, Figure1Result
 from repro.experiments.figure3 import Figure3Result, SearchCurve
+from repro.experiments.pareto_front import ParetoFrontPoint, ParetoResult
 from repro.experiments.table1 import Table1Result, Table1Row
 
 PathLike = Union[str, Path]
@@ -152,6 +153,55 @@ def figure3_from_dict(payload: Dict) -> Figure3Result:
 
 
 # ---------------------------------------------------------------------------
+# pareto front
+# ---------------------------------------------------------------------------
+
+def pareto_to_dict(result: ParetoResult) -> Dict:
+    """JSON-serialisable view of a Pareto-front experiment."""
+    return {
+        "dataset_name": result.dataset_name,
+        "model_name": result.model_name,
+        "objective_names": list(result.objective_names),
+        "front": [
+            {
+                "encoding": list(point.encoding),
+                "objectives": {str(k): float(v) for k, v in point.objectives.items()},
+                "num_skips": int(point.num_skips),
+            }
+            for point in result.front
+        ],
+        "hypervolume_curve": [float(v) for v in result.hypervolume_curve],
+        "reference_point": [float(v) for v in result.reference_point],
+        "num_evaluations": int(result.num_evaluations),
+        "fresh_evaluations": int(result.fresh_evaluations),
+        "energy_budget": result.energy_budget,
+    }
+
+
+def pareto_from_dict(payload: Dict) -> ParetoResult:
+    """Inverse of :func:`pareto_to_dict`."""
+    result = ParetoResult(
+        dataset_name=payload["dataset_name"],
+        model_name=payload["model_name"],
+        objective_names=list(payload["objective_names"]),
+        hypervolume_curve=[float(v) for v in payload.get("hypervolume_curve", [])],
+        reference_point=[float(v) for v in payload.get("reference_point", [])],
+        num_evaluations=int(payload.get("num_evaluations", 0)),
+        fresh_evaluations=int(payload.get("fresh_evaluations", 0)),
+        energy_budget=payload.get("energy_budget"),
+    )
+    for point in payload.get("front", []):
+        result.front.append(
+            ParetoFrontPoint(
+                encoding=[int(v) for v in point["encoding"]],
+                objectives={str(k): float(v) for k, v in point["objectives"].items()},
+                num_skips=int(point.get("num_skips", 0)),
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # file helpers
 # ---------------------------------------------------------------------------
 
@@ -159,6 +209,7 @@ _SERIALIZERS = {
     Figure1Result: figure1_to_dict,
     Table1Result: table1_to_dict,
     Figure3Result: figure3_to_dict,
+    ParetoResult: pareto_to_dict,
 }
 
 
@@ -184,4 +235,6 @@ def load_result(path: PathLike):
         return table1_from_dict(data)
     if kind == "Figure3Result":
         return figure3_from_dict(data)
+    if kind == "ParetoResult":
+        return pareto_from_dict(data)
     raise ValueError(f"unknown result kind {kind!r} in {path}")

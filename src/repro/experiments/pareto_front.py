@@ -1,0 +1,255 @@
+"""Pareto-front experiment: accuracy–energy–latency trade-offs of the search space.
+
+The paper's figures report the *scalar* outcome of the search; this harness
+reports the *trade-off surface* the scalar search collapses.  One run drives
+:class:`~repro.core.multi_objective.MultiObjectiveBayesianOptimizer` over the
+skip-connection space of one template on one dataset, with candidate
+evaluations measuring validation accuracy (trainer path), energy and MACs
+(the Horowitz MAC/energy model of :mod:`repro.snn.mac`) and latency (the
+simulation window) — and emits the non-dominated front plus the hypervolume
+trace per evaluation.
+
+Evaluations flow through the same cache/worker plumbing as every other
+experiment: with ``cache_dir`` set, rows persist the per-objective metrics
+dict, so a fully-cached re-run reproduces the identical front without
+re-training a single candidate (at any ``async_workers`` count — the
+multi-objective async engine is deterministic by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cache import (
+    CachedObjective,
+    dataset_fingerprint_fields,
+    evaluation_store_for,
+    snapshot_store_for,
+)
+from repro.core.multi_objective import (
+    MultiObjectiveBayesianOptimizer,
+    ObjectiveConstraint,
+    resolve_objective_specs,
+)
+from repro.core.objectives import AccuracyDropObjective
+from repro.core.weight_sharing import WeightStore
+from repro.data import load_dataset
+from repro.experiments.config import ExperimentScale, dataset_kwargs, get_scale, model_kwargs
+from repro.models import get_template
+from repro.training.snn_trainer import SNNTrainingConfig
+
+
+@dataclass
+class ParetoFrontPoint:
+    """One non-dominated architecture: encoding plus raw per-objective metrics."""
+
+    encoding: List[int]
+    #: raw-scale objective values keyed by objective name (accuracy as
+    #: accuracy, not its negation)
+    objectives: Dict[str, float]
+    num_skips: int = 0
+
+
+@dataclass
+class ParetoResult:
+    """The front, the hypervolume trace and the run metadata."""
+
+    dataset_name: str
+    model_name: str
+    objective_names: List[str]
+    front: List[ParetoFrontPoint] = field(default_factory=list)
+    #: hypervolume after each evaluation observed once the reference existed
+    hypervolume_curve: List[float] = field(default_factory=list)
+    #: hypervolume reference point on the minimisation scale
+    reference_point: List[float] = field(default_factory=list)
+    num_evaluations: int = 0
+    #: evaluations that actually ran (cache misses); 0 for a fully-cached run
+    fresh_evaluations: int = 0
+    energy_budget: Optional[float] = None
+
+    def front_size(self) -> int:
+        """Number of non-dominated points found."""
+        return len(self.front)
+
+    def final_hypervolume(self) -> float:
+        """Hypervolume of the final front (0.0 if never measured)."""
+        return self.hypervolume_curve[-1] if self.hypervolume_curve else 0.0
+
+    def feasible_front(self) -> List[ParetoFrontPoint]:
+        """Front points satisfying the energy budget (all points without one)."""
+        if self.energy_budget is None:
+            return list(self.front)
+        return [
+            point
+            for point in self.front
+            if point.objectives.get("energy", 0.0) <= self.energy_budget
+        ]
+
+
+def _training_config(scale: ExperimentScale, seed: int) -> SNNTrainingConfig:
+    """Candidate fine-tune configuration (also fingerprinted for the cache)."""
+    return SNNTrainingConfig(
+        epochs=scale.candidate_finetune_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        optimizer="sgd",
+        momentum=0.9,
+        num_steps=scale.num_steps,
+        seed=seed,
+    )
+
+
+def run_pareto_front(
+    scale: Optional[ExperimentScale] = None,
+    dataset: str = "cifar10-dvs",
+    model: str = "resnet18",
+    objectives: Sequence[str] = ("accuracy", "energy"),
+    energy_budget: Optional[float] = None,
+    iterations: Optional[int] = None,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    cache_sharded: bool = False,
+    async_workers: int = 0,
+) -> ParetoResult:
+    """Run the multi-objective search and return the Pareto front.
+
+    ``iterations`` is the number of BO evaluations after the warm start
+    (default: the scale's ``search_iterations``).  ``energy_budget`` adds the
+    hard constraint ``energy_nj <= budget`` (feasibility-weighted
+    acquisition); the reported front still contains every non-dominated
+    point, with :meth:`ParetoResult.feasible_front` selecting the compliant
+    subset.  The cache flags behave exactly as in the other experiments.
+    """
+    scale = scale or get_scale()
+    iterations = iterations if iterations is not None else scale.search_iterations
+    specs = resolve_objective_specs(objectives)
+
+    splits = load_dataset(dataset, **dataset_kwargs(scale, dataset))
+    input_channels = splits.sample_shape[1] if splits.is_temporal else splits.sample_shape[0]
+    template = get_template(
+        model, **model_kwargs(scale, model, input_channels=input_channels, num_classes=splits.num_classes)
+    )
+    space = template.search_space()
+
+    training = _training_config(scale, seed)
+    objective = AccuracyDropObjective(
+        template=template,
+        splits=splits,
+        training_config=training,
+        weight_store=WeightStore(),
+        measure_energy=True,
+        build_seed=seed,
+    )
+    search_objective = objective
+    store = None
+    known_keys: set = set()
+    if cache_dir is not None:
+        store = evaluation_store_for(
+            cache_dir,
+            ["pareto", splits.name, template.name],
+            sharded=cache_sharded,
+            seed=seed,
+            training=asdict(training),
+            **dataset_fingerprint_fields(splits),
+        )
+        known_keys = set(store.keys())
+        search_objective = CachedObjective(
+            objective,
+            store=store,
+            snapshots=snapshot_store_for(store, keep_best=max(iterations + scale.bo_initial_points, 1)),
+        )
+
+    constraints = []
+    if energy_budget is not None:
+        constraints.append(ObjectiveConstraint("energy", upper=float(energy_budget)))
+
+    initial = min(scale.bo_initial_points, max(1, iterations // 3))
+    optimizer = MultiObjectiveBayesianOptimizer(
+        space,
+        search_objective,
+        objectives=specs,
+        constraints=constraints,
+        initial_points=initial,
+        batch_size=1,
+        candidate_pool_size=48,
+        async_workers=async_workers,
+        rng=seed,
+    )
+    history = optimizer.optimize(max(iterations - initial, 0))
+
+    if store is not None:
+        # fresh evaluations are counted as store growth rather than by the
+        # parent-side miss counter: with worker processes, misses (and their
+        # row appends) happen in the children, which the reload merges back
+        store.reload()
+        fresh = len(set(store.keys()) - known_keys)
+    else:
+        fresh = len(history)
+
+    result = ParetoResult(
+        dataset_name=splits.name,
+        model_name=template.name,
+        objective_names=[spec.name for spec in specs],
+        hypervolume_curve=list(optimizer.hypervolume_history),
+        reference_point=(
+            [float(v) for v in optimizer.reference_point]
+            if optimizer.reference_point is not None
+            else []
+        ),
+        num_evaluations=len(history),
+        fresh_evaluations=fresh,
+        energy_budget=energy_budget,
+    )
+    for record in optimizer.front_records():
+        result.front.append(
+            ParetoFrontPoint(
+                encoding=[int(v) for v in record.spec.encode()],
+                objectives={spec.name: spec.raw(record.metrics) for spec in specs},
+                num_skips=record.spec.total_skips(),
+            )
+        )
+    return result
+
+
+def format_pareto(result: ParetoResult) -> str:
+    """Plain-text report: the front table plus the hypervolume summary."""
+    names = result.objective_names
+    header = ["#"] + names + ["skips"]
+    widths = [max(len(column), 12) for column in header]
+    lines = [
+        f"Pareto front — {result.dataset_name} / {result.model_name} "
+        f"({result.num_evaluations} evaluations, {result.front_size()} non-dominated)"
+    ]
+    if result.energy_budget is not None:
+        feasible = len(result.feasible_front())
+        lines.append(f"energy budget: {result.energy_budget:g} nJ ({feasible}/{result.front_size()} points within)")
+    lines.append("  ".join(f"{h:>{w}}" for h, w in zip(header, widths)))
+    for index, point in enumerate(result.front):
+        cells = [str(index)] + [f"{point.objectives[name]:.4f}" for name in names] + [str(point.num_skips)]
+        lines.append("  ".join(f"{c:>{w}}" for c, w in zip(cells, widths)))
+    reference = ", ".join(f"{v:.3f}" for v in result.reference_point)
+    lines.append(f"hypervolume: {result.final_hypervolume():.4f} (reference {reference})")
+    return "\n".join(lines)
+
+
+def plot_pareto(result: ParetoResult) -> str:
+    """ASCII view: the front scatter (first two objectives) + hypervolume trace."""
+    from repro.experiments.plots import ascii_line_chart, ascii_scatter
+
+    if len(result.objective_names) < 2 or not result.front:
+        return "(front is empty — nothing to plot)"
+    x_name, y_name = result.objective_names[:2]
+    xs = [point.objectives[x_name] for point in result.front]
+    ys = [point.objectives[y_name] for point in result.front]
+    scatter = ascii_scatter(xs, ys, x_label=x_name, y_label=y_name)
+    chart = scatter
+    if result.hypervolume_curve:
+        chart += "\n\n" + ascii_line_chart(
+            {"hypervolume": result.hypervolume_curve},
+            y_label="hypervolume",
+            x_label="evaluation",
+        )
+    return chart

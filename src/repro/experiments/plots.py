@@ -67,6 +67,45 @@ def ascii_line_chart(
     return "\n".join(lines)
 
 
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render one point cloud (e.g. a Pareto front) as an ASCII scatter plot.
+
+    Both axes are linearly scaled to the data range, with the y-axis scale on
+    the left and the x-axis range printed underneath — enough to eyeball the
+    shape of a trade-off curve in a terminal or CI log.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0 or xs.shape != ys.shape:
+        raise ValueError("need matching, non-empty x/y sequences")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = height - 1 - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[row][column] = marker
+    lines = [y_label]
+    for row_index, row in enumerate(grid):
+        value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        lines.append(f"{value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_label}: {x_lo:.3f} .. {x_hi:.3f}")
+    return "\n".join(lines)
+
+
 def ascii_bar_chart(
     labels: Sequence[str],
     groups: Dict[str, Sequence[float]],

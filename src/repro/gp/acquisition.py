@@ -106,6 +106,47 @@ class ProbabilityOfImprovement(AcquisitionFunction):
         return norm.cdf(z)
 
 
+def probability_in_bounds(
+    mean: np.ndarray,
+    std: np.ndarray,
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+) -> np.ndarray:
+    """Gaussian probability that each candidate's value lands in ``[lower, upper]``.
+
+    The feasibility model behind constrained acquisition: a constraint
+    ``g(x) <= budget`` is scored as ``P(g(x) <= budget)`` under the GP
+    posterior of ``g``.  ``None`` bounds are open; with both bounds set the
+    exact interval probability ``cdf(upper) - cdf(lower)`` is returned (not
+    the product of the one-sided probabilities, which overestimates it).  A
+    degenerate posterior (``std ~ 0``) degrades to the 0/1 indicator of the
+    mean.
+    """
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    mean = np.asarray(mean, dtype=np.float64)
+    upper_cdf = norm.cdf((float(upper) - mean) / std) if upper is not None else np.ones_like(mean)
+    lower_cdf = norm.cdf((float(lower) - mean) / std) if lower is not None else np.zeros_like(mean)
+    return np.maximum(upper_cdf - lower_cdf, 0.0)
+
+
+def feasibility_weighted(scores: np.ndarray, probability: np.ndarray) -> np.ndarray:
+    """Weight acquisition scores by a feasibility probability.
+
+    Classic constrained EI multiplies the (non-negative) acquisition by the
+    feasibility probability; confidence-bound scores can be negative, so the
+    scores are first shifted to a non-negative scale (which preserves their
+    ``argmax``) before weighting.  A tiny range-scaled floor keeps the
+    feasibility signal decisive even when the shifted worst score is zero.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    probability = np.asarray(probability, dtype=np.float64)
+    if scores.size == 0:
+        return scores
+    spread = float(scores.max() - scores.min())
+    floor = 1e-3 * spread if spread > 0 else 1.0
+    return (scores - scores.min() + floor) * probability
+
+
 _REGISTRY = {cls.name: cls for cls in (UpperConfidenceBound, ExpectedImprovement, ProbabilityOfImprovement)}
 
 

@@ -196,6 +196,24 @@ class EnergyEstimate:
         return self.snn_energy_nj / self.ann_energy_nj
 
 
+def energy_metrics(macs_per_step: float, firing_rate: float, num_steps: int) -> Dict[str, float]:
+    """Per-objective metric fields derived from one traced architecture.
+
+    The flat dict consumed by the multi-objective search layer
+    (:mod:`repro.core.multi_objective`) and persisted on evaluation rows:
+    ``macs`` (per simulation step), ``energy_nj`` / ``ann_energy_nj``
+    (Horowitz figures via :func:`estimate_energy`) and ``latency_steps``
+    (the simulation window — the SNN's inference latency in time steps).
+    """
+    estimate = estimate_energy(macs_per_step, firing_rate, num_steps)
+    return {
+        "macs": float(macs_per_step),
+        "energy_nj": estimate.snn_energy_nj,
+        "ann_energy_nj": estimate.ann_energy_nj,
+        "latency_steps": float(num_steps),
+    }
+
+
 def estimate_energy(
     macs_per_step: float,
     firing_rate: float,

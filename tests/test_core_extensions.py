@@ -223,3 +223,46 @@ class TestEvolutionarySearch:
         search = EvolutionarySearch(single_block_template.search_space(), objective, population_size=2, rng=0)
         history = search.optimize(max_evaluations=3)
         assert history.num_evaluations == 3
+
+
+class TestEnergyMetricsAndMACMemoisation:
+    def _objective(self, single_block_template, tiny_dvs_splits, **kwargs):
+        return AccuracyDropObjective(
+            template=single_block_template,
+            splits=tiny_dvs_splits,
+            training_config=SNNTrainingConfig(epochs=1, batch_size=16, num_steps=3, seed=0),
+            **kwargs,
+        )
+
+    def test_measure_energy_populates_the_metrics_dict(self, single_block_template, tiny_dvs_splits):
+        objective = self._objective(single_block_template, tiny_dvs_splits, measure_energy=True)
+        result = objective(single_block_template.default_architecture())
+        for key in ("val_accuracy", "firing_rate", "macs", "energy_nj", "ann_energy_nj", "latency_steps"):
+            assert key in result.metrics, key
+        assert result.metrics["macs"] == result.macs > 0
+        assert result.metrics["latency_steps"] == 3.0
+        assert result.metrics["val_accuracy"] == pytest.approx(result.accuracy)
+
+    def test_mac_trace_is_memoised_per_architecture(self, single_block_template, tiny_dvs_splits):
+        """Re-evaluating an architecture must not re-run the MAC forward trace
+        (the count is a pure function of the architecture, not the weights)."""
+        objective = self._objective(single_block_template, tiny_dvs_splits, measure_energy=True)
+        spec = single_block_template.default_architecture()
+        first = objective(spec)
+        second = objective(spec)
+        assert objective.num_evaluations == 2
+        assert objective.mac_traces == 1
+        assert first.macs == second.macs
+        other = single_block_template.search_space().sample(rng=0)
+        objective(other)
+        assert objective.mac_traces == (1 if np.array_equal(other.encode(), spec.encode()) else 2)
+
+    def test_unmeasured_quantities_stay_out_of_metrics(self, single_block_template, tiny_dvs_splits):
+        """An unmeasured firing rate must be absent, not recorded as 0.0 —
+        a multi-objective search over it should fail loudly."""
+        objective = self._objective(single_block_template, tiny_dvs_splits, measure_firing_rate=False)
+        result = objective(single_block_template.default_architecture())
+        assert set(result.metrics) == {"val_accuracy"}
+        assert objective.mac_traces == 0
+        measured = self._objective(single_block_template, tiny_dvs_splits)
+        assert "firing_rate" in measured(single_block_template.default_architecture()).metrics

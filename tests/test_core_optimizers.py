@@ -252,3 +252,60 @@ class TestWeightStore:
         store = WeightStore.from_model(self._model())
         assert len(store) == len(store.keys()) > 0
         assert store.get("not-a-key") is None
+
+
+class TestCandidatePoolReuse:
+    """The persistent candidate pool and its incrementally-grown encoded matrix."""
+
+    def _seeded(self, rng=0, **kwargs):
+        defaults = dict(initial_points=3, candidate_pool_size=24, batch_size=2)
+        defaults.update(kwargs)
+        return BayesianOptimizer(_space(depth=4), CountingObjective(), rng=rng, **defaults)
+
+    def test_cached_matrix_matches_reencoding_path(self):
+        """Satellite acceptance: proposals with the incrementally-maintained
+        encoded matrix are identical to re-encoding the pool every iteration."""
+        cached = self._seeded(rng=7)
+        reencoded = self._seeded(rng=7)
+        reencoded._pool_matrix_cache_enabled = False
+        h1 = cached.optimize(6)
+        h2 = reencoded.optimize(6)
+        assert [r.spec.encode().tolist() for r in h1] == [r.spec.encode().tolist() for r in h2]
+        assert [r.objective_value for r in h1] == [r.objective_value for r in h2]
+
+    def test_pool_persists_and_tops_up_across_iterations(self):
+        optimizer = self._seeded()
+        optimizer.optimize(1)
+        survivors = list(optimizer._pool_keys)
+        assert len(optimizer._pool_specs) == optimizer.candidate_pool_size - optimizer.batch_size
+        optimizer.optimize(1)
+        # previous survivors are still candidates (minus any that were proposed)
+        assert len(set(survivors) & set(optimizer._pool_keys)) >= len(survivors) - optimizer.batch_size
+        assert optimizer._pool_matrix.shape == (
+            len(optimizer._pool_specs),
+            optimizer.search_space.encoding_length(),
+        )
+
+    def test_pool_matrix_rows_track_specs(self):
+        optimizer = self._seeded()
+        optimizer.optimize(3)
+        optimizer._refresh_pool()
+        expected = np.array([s.encode() for s in optimizer._pool_specs], dtype=np.float64)
+        np.testing.assert_array_equal(optimizer._pool_matrix, expected)
+        assert optimizer._pool_keys == [s.encode().tobytes() for s in optimizer._pool_specs]
+
+    def test_pool_never_contains_evaluated_candidates(self):
+        optimizer = self._seeded()
+        history = optimizer.optimize(5)
+        evaluated = {r.spec.encode().tobytes() for r in history}
+        assert not (evaluated & set(optimizer._pool_keys))
+
+    def test_pool_resets_on_history_swap(self):
+        optimizer = self._seeded()
+        optimizer.optimize(2)
+        assert optimizer._pool_specs
+        optimizer.history = OptimizationHistory()
+        optimizer.optimize(1)
+        assert len(optimizer._pool_specs) <= optimizer.candidate_pool_size
+        keys = [r.spec.encode().tobytes() for r in optimizer.history]
+        assert len(keys) == len(set(keys))

@@ -215,3 +215,118 @@ class TestShardedStoreConcurrentProcesses:
             cached(spec)
         assert probe.num_evaluations == 0
         assert cached.hit_rate == pytest.approx(1.0)
+
+
+class TestShardCompaction:
+    def _populate(self, base):
+        for writer, count in (("a", 4), ("b", 3)):
+            store = ShardedEvaluationStore(base, writer_id=writer)
+            for key, row in _rows_for(1 if writer == "a" else 2, count).items():
+                store.put(key, row)
+
+    def test_compacted_dir_yields_identical_merged_view(self, tmp_path):
+        """Acceptance: compaction folds every shard into the base file without
+        changing the merged view a fresh store reads."""
+        base = tmp_path / "evals.jsonl"
+        legacy = PersistentEvaluationStore(base)
+        legacy.put("old", {"objective_value": 0.5})
+        self._populate(base)
+        before = {key: ShardedEvaluationStore(base).get(key) for key in ShardedEvaluationStore(base).keys()}
+
+        summary = ShardedEvaluationStore(base).compact()
+        assert summary["rows"] == len(before) == 8
+        assert summary["shards_merged"] == 2 and summary["shards_kept"] == 0
+        assert base.exists() and not base.with_suffix(".shards").exists()
+
+        merged = ShardedEvaluationStore(base)
+        assert {key: merged.get(key) for key in merged.keys()} == before
+        # the compacted file is also a plain single-file store now
+        plain = PersistentEvaluationStore(base)
+        assert sorted(plain.keys()) == sorted(before)
+
+    def test_compaction_preserves_duplicate_resolution(self, tmp_path):
+        base = tmp_path / "evals.jsonl"
+        ShardedEvaluationStore(base, writer_id="b").put("k", {"objective_value": 2.0})
+        ShardedEvaluationStore(base, writer_id="a").put("k", {"objective_value": 1.0})
+        winner = ShardedEvaluationStore(base).get("k")["objective_value"]
+        ShardedEvaluationStore(base).compact()
+        assert ShardedEvaluationStore(base).get("k")["objective_value"] == winner
+
+    def test_compaction_keeps_shards_that_grew_mid_pass(self, tmp_path):
+        """A shard appended to after being read must survive the pass (its
+        unseen rows stay reachable through the normal shard merge)."""
+        base = tmp_path / "evals.jsonl"
+        self._populate(base)
+        store = ShardedEvaluationStore(base)
+
+        original_reload = ShardedEvaluationStore.reload
+        fired = []
+
+        def reload_then_append(self_store):
+            count = original_reload(self_store)
+            if not fired:  # only the compaction pass's own reload
+                fired.append(True)
+                late = ShardedEvaluationStore(base, writer_id="a")
+                late.put("late", {"objective_value": 9.0})
+            return count
+
+        ShardedEvaluationStore.reload = reload_then_append
+        try:
+            summary = store.compact()
+        finally:
+            ShardedEvaluationStore.reload = original_reload
+        assert summary["shards_kept"] == 1
+        merged = ShardedEvaluationStore(base)
+        assert merged.get("late")["objective_value"] == 9.0
+        assert len(merged) == 8
+
+    def test_writes_after_compaction_start_a_fresh_shard(self, tmp_path):
+        base = tmp_path / "evals.jsonl"
+        store = ShardedEvaluationStore(base, writer_id="w")
+        store.put("k", {"objective_value": 1.0})
+        store.compact()
+        store.put("q", {"objective_value": 2.0})
+        merged = ShardedEvaluationStore(base)
+        assert sorted(merged.keys()) == ["k", "q"]
+        assert merged.skipped_lines == 0
+
+    def test_cli_cache_compact(self, tmp_path):
+        from repro.cli import main
+
+        base = tmp_path / "evals-abc123.jsonl"
+        self._populate(base)
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        assert not base.with_suffix(".shards").exists()
+        assert len(ShardedEvaluationStore(base)) == 7
+        # idempotent / empty directories are fine
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_reader_retries_when_a_shard_vanishes_mid_reload(self, tmp_path):
+        """A reload racing a compaction (shard unlinked after the base was
+        replaced) must retry and land on the post-compaction view instead of
+        silently dropping the shard's rows."""
+        base = tmp_path / "evals.jsonl"
+        self._populate(base)
+        reader = ShardedEvaluationStore(base, writer_id="reader")
+        full_view = dict(zip(reader.keys(), (reader.get(k) for k in reader.keys())))
+
+        ghost = reader.shard_dir / "zz-vanished.jsonl"
+        original_source_paths = ShardedEvaluationStore._source_paths
+        calls = {"n": 0}
+
+        def racing_source_paths(self_store):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                # first attempt: the compaction already folded + unlinked a
+                # shard this listing still names
+                ShardedEvaluationStore(base, writer_id="compactor").compact()
+                return original_source_paths(self_store) + [ghost]
+            return original_source_paths(self_store)
+
+        ShardedEvaluationStore._source_paths = racing_source_paths
+        try:
+            reader.reload()
+        finally:
+            ShardedEvaluationStore._source_paths = original_source_paths
+        assert calls["n"] >= 2  # the vanished shard forced a second pass
+        assert {key: reader.get(key) for key in reader.keys()} == full_view

@@ -25,7 +25,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: files whose links and doctests are checked
-CHECKED_FILES = ("README.md", "docs/architecture.md", "docs/caching.md", "docs/benchmarks.md")
+CHECKED_FILES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/caching.md",
+    "docs/benchmarks.md",
+    "docs/multi_objective.md",
+)
 
 #: markdown inline links/images: [text](target) / ![alt](target)
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
