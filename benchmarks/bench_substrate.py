@@ -1,15 +1,40 @@
 """Micro-benchmarks of the computational substrate.
 
 These are not paper figures; they track the performance of the hot paths the
-experiments sit on (im2col convolution forward/backward, one LIF simulation
-step, a full BPTT step, GP fitting, one BO proposal round) so regressions in
+experiments sit on (im2col convolution forward/backward, LIF simulation
+steps, a full BPTT step, GP fitting, one BO proposal round) so regressions in
 the substrate are visible independently of the experiment-level benchmarks.
+
+Since the graph-free inference fast path landed, every hot case exists in two
+variants — the **autograd path** (gradients enabled, graph recorded) and the
+**inference path** (under :func:`~repro.tensor.tensor.no_grad`: GEMM conv
+kernels, pooled im2col workspaces, fused in-place neuron stepping) — so both
+are tracked and their ratio is a regression-gated number.
+
+Two ways to run:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_substrate.py --benchmark-only``
+  — the pytest-benchmark suite (statistical timings, local profiling);
+* ``PYTHONPATH=src python benchmarks/bench_substrate.py [--smoke] [--output f.json]``
+  — the standalone script CI runs: times each hot path on both paths,
+  verifies the two paths produce **bit-identical** outputs, and emits the
+  JSON that ``tools/bench_gate.py`` compares against the committed
+  ``benchmarks/BENCH_5.json`` baseline.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import time
+from typing import Dict, Optional, Sequence
+
 import numpy as np
-import pytest
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without dev extras
+    pytest = None
 
 from repro.core.bayes_opt import BayesianOptimizer
 from repro.core.objectives import EvaluationResult, Objective
@@ -18,18 +43,42 @@ from repro.gp import GaussianProcessRegressor, HammingKernel
 from repro.models import get_template
 from repro.nn import CrossEntropyLoss
 from repro.snn import LIFNeuron, TemporalRunner
-from repro.tensor import Tensor, conv2d
+from repro.tensor import Tensor, conv2d, no_grad
+
+benchmark_case = pytest.mark.benchmark(group="substrate") if pytest else (lambda f: f)
 
 
-@pytest.mark.benchmark(group="substrate")
+def _lif_sequence(neuron: LIFNeuron, current: Tensor, steps: int) -> Tensor:
+    """Reset and run ``steps`` LIF updates, returning the last spikes."""
+    neuron.reset_state()
+    spikes = None
+    for _ in range(steps):
+        spikes = neuron(current)
+    return spikes
+
+
+@benchmark_case
 def test_conv2d_forward(benchmark, rng=np.random.default_rng(0)):
-    """im2col convolution forward pass (the single hottest kernel)."""
+    """im2col convolution forward on the autograd path (graph recorded)."""
     x = Tensor(rng.normal(size=(8, 8, 16, 16)))
-    w = Tensor(rng.normal(size=(16, 8, 3, 3)))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
     benchmark(lambda: conv2d(x, w, padding=1))
 
 
-@pytest.mark.benchmark(group="substrate")
+@benchmark_case
+def test_conv2d_forward_inference(benchmark, rng=np.random.default_rng(0)):
+    """Graph-free conv forward: pooled im2col workspace + one batched GEMM."""
+    x = Tensor(rng.normal(size=(8, 8, 16, 16)))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
+
+    def run():
+        with no_grad():
+            conv2d(x, w, padding=1)
+
+    benchmark(run)
+
+
+@benchmark_case
 def test_conv2d_forward_backward(benchmark):
     """Convolution forward + backward (dominates BPTT training time)."""
     rng = np.random.default_rng(0)
@@ -45,9 +94,9 @@ def test_conv2d_forward_backward(benchmark):
     benchmark(run)
 
 
-@pytest.mark.benchmark(group="substrate")
+@benchmark_case
 def test_lif_step(benchmark):
-    """One LIF update over a feature-map-sized membrane."""
+    """One LIF update over a feature-map-sized membrane (autograd path)."""
     rng = np.random.default_rng(0)
     neuron = LIFNeuron(beta=0.9)
     current = Tensor(rng.normal(size=(16, 16, 16, 16)))
@@ -59,7 +108,30 @@ def test_lif_step(benchmark):
     benchmark(run)
 
 
-@pytest.mark.benchmark(group="substrate")
+@benchmark_case
+def test_lif_steps(benchmark):
+    """A multi-step LIF sequence on the autograd path (grad-tracked input)."""
+    rng = np.random.default_rng(0)
+    neuron = LIFNeuron(beta=0.9)
+    current = Tensor(rng.normal(size=(16, 16, 16, 16)), requires_grad=True)
+    benchmark(lambda: _lif_sequence(neuron, current, 8))
+
+
+@benchmark_case
+def test_lif_steps_inference(benchmark):
+    """The same LIF sequence on the fused in-place inference path."""
+    rng = np.random.default_rng(0)
+    neuron = LIFNeuron(beta=0.9)
+    current = Tensor(rng.normal(size=(16, 16, 16, 16)))
+
+    def run():
+        with no_grad():
+            _lif_sequence(neuron, current, 8)
+
+    benchmark(run)
+
+
+@benchmark_case
 def test_snn_bptt_training_step(benchmark):
     """Full forward + BPTT backward of the ResNet-style SNN for one mini-batch."""
     rng = np.random.default_rng(0)
@@ -78,7 +150,24 @@ def test_snn_bptt_training_step(benchmark):
     benchmark(run)
 
 
-@pytest.mark.benchmark(group="substrate")
+@benchmark_case
+def test_snn_temporal_eval_inference(benchmark):
+    """Full evaluation forward of the ResNet-style SNN on the fast path."""
+    rng = np.random.default_rng(0)
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    model.eval()
+    runner = TemporalRunner(model, num_steps=5)
+    batch = rng.random((8, 2, 12, 12))
+
+    def run():
+        with no_grad():
+            runner(batch)
+
+    benchmark(run)
+
+
+@benchmark_case
 def test_gp_fit_predict(benchmark):
     """GP fit + posterior prediction at the sizes the BO loop uses."""
     rng = np.random.default_rng(0)
@@ -102,7 +191,7 @@ class _FreeObjective(Objective):
         return EvaluationResult(spec=spec, objective_value=value, accuracy=1 - value)
 
 
-@pytest.mark.benchmark(group="substrate")
+@benchmark_case
 def test_bo_proposal_round(benchmark):
     """One surrogate fit + acquisition maximisation + batch proposal."""
     space = SearchSpace([BlockSearchInfo(depth=4), BlockSearchInfo(depth=4)])
@@ -112,3 +201,165 @@ def test_bo_proposal_round(benchmark):
         optimizer.optimize(3)
 
     benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# standalone script mode (CI artifact + regression gate input)
+# ---------------------------------------------------------------------------
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pair(autograd_s: float, fast_s: float) -> Dict[str, float]:
+    return {
+        "autograd_ms": autograd_s * 1e3,
+        "fast_ms": fast_s * 1e3,
+        "speedup": autograd_s / fast_s if fast_s > 0 else float("inf"),
+    }
+
+
+def bench_conv_forward(repeats: int) -> Dict[str, float]:
+    """Autograd conv forward (einsum + graph) vs graph-free GEMM fast path."""
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(8, 8, 16, 16)))
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
+    reference = conv2d(x, w, padding=1).data
+    with no_grad():
+        fast = conv2d(x, w, padding=1).data
+    if not np.array_equal(reference, fast):  # pragma: no cover - equality gate
+        raise AssertionError("conv2d fast path diverged from the autograd path")
+
+    def autograd() -> None:
+        conv2d(x, w, padding=1)
+
+    def inference() -> None:
+        with no_grad():
+            conv2d(x, w, padding=1)
+
+    return _pair(_time(autograd, repeats), _time(inference, repeats))
+
+
+def bench_lif_step(repeats: int, steps: int = 8) -> Dict[str, float]:
+    """Per-step cost of a LIF sequence: autograd vs fused in-place stepping.
+
+    The autograd variant drives the neuron with a grad-tracked input — as in
+    training, where the preceding convolution's output carries the graph — so
+    the measured pair is the real training-forward step against the real
+    inference step.
+    """
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(16, 16, 16, 16))
+    tracked = Tensor(values, requires_grad=True)
+    current = Tensor(values)
+    reference_neuron = LIFNeuron(beta=0.9)
+    fast_neuron = LIFNeuron(beta=0.9)
+    reference = _lif_sequence(reference_neuron, tracked, steps).data.copy()
+    with no_grad():
+        fast = _lif_sequence(fast_neuron, current, steps).data
+    if not np.array_equal(reference, fast):  # pragma: no cover - equality gate
+        raise AssertionError("LIF fast path diverged from the autograd path")
+
+    def autograd() -> None:
+        _lif_sequence(reference_neuron, tracked, steps)
+
+    def inference() -> None:
+        with no_grad():
+            _lif_sequence(fast_neuron, current, steps)
+
+    row = _pair(_time(autograd, repeats) / steps, _time(inference, repeats) / steps)
+    row["steps"] = float(steps)
+    return row
+
+
+def bench_temporal_eval(repeats: int, num_steps: int = 5) -> Dict[str, float]:
+    """Whole-model SNN evaluation forward: autograd path vs fast path."""
+    rng = np.random.default_rng(0)
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    model.eval()
+    runner = TemporalRunner(model, num_steps=num_steps)
+    batch = rng.random((8, 2, 12, 12))
+    reference = runner(batch).data.copy()
+    with no_grad():
+        fast = runner(batch).data
+    if not np.array_equal(reference, fast):  # pragma: no cover - equality gate
+        raise AssertionError("temporal fast path diverged from the autograd path")
+
+    def autograd() -> None:
+        runner(batch)
+
+    def inference() -> None:
+        with no_grad():
+            runner(batch)
+
+    row = _pair(_time(autograd, repeats), _time(inference, repeats))
+    row["num_steps"] = float(num_steps)
+    return row
+
+
+def bench_bptt_step(repeats: int) -> Dict[str, float]:
+    """Absolute cost of one BPTT training step (no fast-path variant)."""
+    rng = np.random.default_rng(0)
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    runner = TemporalRunner(model, num_steps=5)
+    loss_fn = CrossEntropyLoss()
+    batch = rng.random((8, 2, 12, 12))
+    targets = rng.integers(0, 10, size=8)
+
+    def step() -> None:
+        model.zero_grad()
+        loss_fn(runner(batch), targets).backward()
+
+    return {"ms": _time(step, repeats) * 1e3}
+
+
+def format_report(payload: Dict[str, Dict[str, float]]) -> str:
+    """Human-readable substrate report."""
+    lines = ["Substrate hot paths: autograd vs graph-free inference"]
+    lines.append(f"{'case':>16} {'autograd ms':>12} {'fast ms':>10} {'speedup':>9}")
+    for case in ("conv2d_forward", "lif_step", "temporal_eval"):
+        row = payload[case]
+        lines.append(
+            f"{case:>16} {row['autograd_ms']:>12.3f} {row['fast_ms']:>10.3f} {row['speedup']:>8.1f}x"
+        )
+    lines.append(f"BPTT training step: {payload['bptt_step']['ms']:.1f} ms")
+    lines.append("(fast-path outputs verified bit-identical to the autograd path before timing)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Benchmark entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description="Benchmark the evaluation substrate hot paths")
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run (fewer repeats)")
+    parser.add_argument("--output", default=None, help="optional path for the JSON timings")
+    args = parser.parse_args(argv)
+
+    repeats = 20 if args.smoke else 100
+    heavy_repeats = 3 if args.smoke else 10
+
+    payload: Dict[str, object] = {
+        "conv2d_forward": bench_conv_forward(repeats),
+        "lif_step": bench_lif_step(repeats),
+        "temporal_eval": bench_temporal_eval(heavy_repeats),
+        "bptt_step": bench_bptt_step(heavy_repeats),
+        "smoke": bool(args.smoke),
+    }
+    print(format_report(payload))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nsaved timings to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

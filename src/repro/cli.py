@@ -124,7 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--objectives",
         default="accuracy,energy",
         help="comma-separated objectives to trade off (accuracy, energy, macs, "
-        "latency, firing_rate); each gets its own incremental GP surrogate",
+        "latency, latency_steps, firing_rate); each gets its own incremental GP "
+        "surrogate. 'latency' is measured from repeated timed forward passes on "
+        "the inference fast path (median of K runs, warmup excluded); "
+        "'latency_steps' is the step-count proxy",
     )
     pareto.add_argument(
         "--energy-budget",

@@ -201,6 +201,15 @@ class BayesianOptimizer:
         new observations extend its Cholesky factor in O(n^2); the
         constant-liar loop uses rank-1 fantasy updates.  ``False`` refits from
         scratch every iteration and once per lie (the legacy engine).
+    hyperopt_every:
+        Re-tune the kernel hyperparameters (length scale / gamma and signal
+        variance, via :func:`~repro.gp.gp.tune_kernel` marginal-likelihood
+        coordinate descent) every ``hyperopt_every`` observations, rebuilding
+        the incremental Cholesky factor **once** per refit and then resuming
+        O(n^2) updates — so the adaptation cost is amortised over the
+        incremental engine instead of paid per iteration.  ``None`` (the
+        default, i.e. K=∞) never adapts: the proposal sequence is exactly
+        that of an optimizer without the parameter (pinned by a seeded test).
     """
 
     def __init__(
@@ -217,6 +226,7 @@ class BayesianOptimizer:
         workers: int = 1,
         async_workers: int = 0,
         incremental: bool = True,
+        hyperopt_every: Optional[int] = None,
         weight_store: Optional[WeightStore] = None,
         rng=None,
     ) -> None:
@@ -240,6 +250,13 @@ class BayesianOptimizer:
         self.workers = int(workers)
         self.async_workers = int(async_workers)
         self.incremental = bool(incremental)
+        if hyperopt_every is not None and hyperopt_every < 1:
+            raise ValueError("hyperopt_every must be >= 1 (or None to disable)")
+        self.hyperopt_every = int(hyperopt_every) if hyperopt_every is not None else None
+        #: history length at the last hyperparameter refit
+        self._last_hyperopt = 0
+        #: number of hyperparameter refits performed (tests / profiling)
+        self.hyperopt_refits = 0
         self._weight_base, resolved_store = resolve_weight_context(objective)
         self.weight_store = weight_store if weight_store is not None else resolved_store
         self._rng = default_rng(rng)
@@ -360,8 +377,39 @@ class BayesianOptimizer:
             specs.extend(self.search_space.sample_batch(needed, rng=self._rng, exclude=exclude))
         return specs[: self.initial_points]
 
+    def _maybe_adapt_hyperparameters(self) -> bool:
+        """Re-tune the kernel when ``hyperopt_every`` observations accumulated.
+
+        Returns ``True`` when the kernel changed — the caller must then drop
+        its cached surrogate(s) so the next fit rebuilds the Cholesky factor
+        (once) under the new hyperparameters.
+        """
+        if self.hyperopt_every is None or not len(self.history):
+            return False
+        if not self.kernel.TUNABLE:
+            # nothing to retune — skip the O(n^3) likelihood evaluation a
+            # tune_kernel call would spend just to return the kernel unchanged
+            return False
+        if len(self.history) - self._last_hyperopt < self.hyperopt_every:
+            return False
+        from repro.gp.gp import tune_kernel
+
+        x = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
+        y = np.array([record.objective_value for record in self.history], dtype=np.float64)
+        tuned, _ = tune_kernel(self.kernel, x, y, self.noise)
+        self._last_hyperopt = len(self.history)
+        if tuned is self.kernel:
+            return False
+        self.kernel = tuned
+        self.hyperopt_refits += 1
+        return True
+
     def _fit_surrogate(self) -> GaussianProcessRegressor:
         self._guard_incremental_state()
+        if self._maybe_adapt_hyperparameters():
+            # the factored matrix depends on the kernel: rebuild once, then
+            # resume incremental rank-k updates on the new factor
+            self._surrogate = None
         if not self.incremental or self._surrogate is None:
             # full (re)fit: first iteration, legacy engine, or a history swap
             encodings = np.array([record.spec.encode() for record in self.history], dtype=np.float64)

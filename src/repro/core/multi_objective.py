@@ -94,13 +94,18 @@ class ObjectiveSpec:
         return self.sign * self.raw(metrics)
 
 
-#: built-in objectives, keyed by the names the CLI accepts
+#: built-in objectives, keyed by the names the CLI accepts.  ``latency`` is
+#: the **measured** inference latency — the median of repeated timed forward
+#: passes on the graph-free fast path (``latency_ms``, recorded by
+#: ``AccuracyDropObjective(measure_latency=True)``) — while ``latency_steps``
+#: keeps the old simulation-window step count as a cheap structural proxy.
 BUILTIN_OBJECTIVES: Dict[str, ObjectiveSpec] = {
     "accuracy": ObjectiveSpec("accuracy", metric="val_accuracy", direction="max"),
     "firing_rate": ObjectiveSpec("firing_rate", metric="firing_rate", direction="min"),
     "energy": ObjectiveSpec("energy", metric="energy_nj", direction="min"),
     "macs": ObjectiveSpec("macs", metric="macs", direction="min"),
-    "latency": ObjectiveSpec("latency", metric="latency_steps", direction="min"),
+    "latency": ObjectiveSpec("latency", metric="latency_ms", direction="min"),
+    "latency_steps": ObjectiveSpec("latency_steps", metric="latency_steps", direction="min"),
 }
 
 
@@ -306,8 +311,16 @@ class MultiObjectiveBayesianOptimizer(BayesianOptimizer):
     # surrogates: one incremental GP per objective
     # ------------------------------------------------------------------
     def _fit_surrogate(self) -> Dict[str, GaussianProcessRegressor]:
-        """Absorb new observations into every per-objective GP (rank-k update)."""
+        """Absorb new observations into every per-objective GP (rank-k update).
+
+        ``hyperopt_every`` is honoured here too: the shared kernel is re-tuned
+        against the first objective's values (the scalar the history records
+        as ``objective_value``), and a changed kernel drops every cached
+        per-objective GP so each rebuilds its Cholesky factor once.
+        """
         self._guard_incremental_state()
+        if self._maybe_adapt_hyperparameters():
+            self._models = {}
         if len(self._observed) != len(self.history):
             # records appended to the history from outside never passed
             # through _on_record; replay them before they train the GPs

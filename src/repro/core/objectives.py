@@ -118,6 +118,18 @@ class AccuracyDropObjective(Objective):
         measured firing rate and the simulation window; implies both
         ``measure_macs`` and ``measure_firing_rate``.  The fields land in
         ``EvaluationResult.metrics`` for the multi-objective search layer.
+    measure_latency:
+        Measure the candidate's **real inference latency**: a repeated timed
+        forward pass over one validation batch on the graph-free fast path
+        (:func:`repro.training.evaluation.measure_latency_ms` — median of
+        ``latency_runs`` timed runs, warmup excluded) recorded as the
+        ``latency_ms`` metric.  Unlike the step-count proxy
+        (``latency_steps``) this reflects what the architecture actually
+        costs to run — DSC concatenations widen convolutions and slow the
+        pass even at a fixed simulation window.  Wall-clock numbers are
+        hardware-dependent; cached rows replay the value measured when the
+        candidate was first evaluated, which is what keeps fully-cached
+        multi-objective re-runs deterministic.
     """
 
     def __init__(
@@ -132,6 +144,8 @@ class AccuracyDropObjective(Objective):
         measure_firing_rate: bool = True,
         measure_macs: bool = False,
         measure_energy: bool = False,
+        measure_latency: bool = False,
+        latency_runs: int = 5,
         build_seed: int = 0,
     ) -> None:
         self.template = template
@@ -144,6 +158,10 @@ class AccuracyDropObjective(Objective):
         self.measure_energy = bool(measure_energy)
         self.measure_firing_rate = bool(measure_firing_rate) or self.measure_energy
         self.measure_macs = bool(measure_macs) or self.measure_energy
+        self.measure_latency = bool(measure_latency)
+        if latency_runs < 1:
+            raise ValueError(f"latency_runs must be >= 1, got {latency_runs}")
+        self.latency_runs = int(latency_runs)
         self.build_seed = int(build_seed)
         self.num_evaluations = 0
         #: MAC counts are a pure function of the architecture (weights never
@@ -192,6 +210,10 @@ class AccuracyDropObjective(Objective):
         if self.measure_macs and len(self.splits.val):
             macs = self._count_macs(spec, model)
 
+        latency_ms = None
+        if self.measure_latency and len(self.splits.val):
+            latency_ms = self._measure_latency(model)
+
         # only measured quantities enter the metrics dict: a constant 0.0 for
         # an unmeasured firing rate would silently satisfy ObjectiveSpec's
         # missing-metric guard and train a GP on a fabricated objective
@@ -206,6 +228,8 @@ class AccuracyDropObjective(Objective):
             )
         elif macs > 0:
             metrics["macs"] = float(macs)
+        if latency_ms is not None:
+            metrics["latency_ms"] = float(latency_ms)
 
         weight_update = None
         if self.weight_store is not None and self.update_store:
@@ -226,6 +250,20 @@ class AccuracyDropObjective(Objective):
             metrics=metrics,
             weight_update=weight_update,
         )
+
+    def _measure_latency(self, model) -> float:
+        """Median timed inference latency of one validation batch (ms).
+
+        The model is wrapped in the same :class:`~repro.snn.temporal.TemporalRunner`
+        the trainer evaluates with, so the measurement covers the full
+        simulation window on the graph-free fast path.
+        """
+        from repro.training.evaluation import measure_latency_ms
+
+        batch_size = min(int(self.training_config.batch_size), len(self.splits.val))
+        sample = self.splits.val.inputs[:batch_size]
+        runner = SNNTrainer(self.training_config).make_runner(model)
+        return measure_latency_ms(runner, sample, runs=self.latency_runs)
 
     def _count_macs(self, spec: ArchitectureSpec, model) -> float:
         """Per-step MAC count of ``spec``, memoised by architecture fingerprint."""
@@ -343,7 +381,9 @@ class SyntheticWeightObjective(Objective):
             if not self.defer_updates:
                 weight_update.apply(self.weight_store)
         # a synthetic "energy": anti-correlated with accuracy through the skip
-        # count, so multi-objective smoke tests see a genuine trade-off
+        # count, so multi-objective smoke tests see a genuine trade-off; the
+        # synthetic "latency" is deterministic (encoding-derived, not timed),
+        # so latency-objective tests and benchmarks replay exactly
         return EvaluationResult(
             spec=spec,
             objective_value=value,
@@ -352,6 +392,7 @@ class SyntheticWeightObjective(Objective):
                 "val_accuracy": accuracy,
                 "energy_nj": 1.0 + 0.25 * spec.total_skips() + float(np.sin(encoding).sum() ** 2),
                 "firing_rate": 0.5 + 0.5 * float(np.tanh(value)),
+                "latency_ms": 1.0 + 0.1 * spec.total_skips() + 0.5 * float(np.cos(encoding).sum() ** 2),
             },
             weight_update=weight_update,
         )

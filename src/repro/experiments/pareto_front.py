@@ -5,8 +5,10 @@ reports the *trade-off surface* the scalar search collapses.  One run drives
 :class:`~repro.core.multi_objective.MultiObjectiveBayesianOptimizer` over the
 skip-connection space of one template on one dataset, with candidate
 evaluations measuring validation accuracy (trainer path), energy and MACs
-(the Horowitz MAC/energy model of :mod:`repro.snn.mac`) and latency (the
-simulation window) — and emits the non-dominated front plus the hypervolume
+(the Horowitz MAC/energy model of :mod:`repro.snn.mac`) and — when the
+``latency`` objective is requested — the real inference latency from a
+repeated timed forward pass on the graph-free fast path (median of K runs,
+warmup excluded) — and emits the non-dominated front plus the hypervolume
 trace per evaluation.
 
 Evaluations flow through the same cache/worker plumbing as every other
@@ -135,24 +137,35 @@ def run_pareto_front(
     space = template.search_space()
 
     training = _training_config(scale, seed)
+    # the real timed-latency measurement only runs when an objective will read
+    # it — every timed pass costs latency_runs + warmup forward passes
+    needs_latency = any(spec.metric == "latency_ms" for spec in specs)
     objective = AccuracyDropObjective(
         template=template,
         splits=splits,
         training_config=training,
         weight_store=WeightStore(),
         measure_energy=True,
+        measure_latency=needs_latency,
         build_seed=seed,
     )
     search_objective = objective
     store = None
     known_keys: set = set()
     if cache_dir is not None:
+        # latency-enabled runs measure strictly more than plain runs, so they
+        # get their own fingerprint: a store written before timed latency
+        # existed (rows without latency_ms) is never replayed into a latency
+        # search — those candidates are simply re-evaluated — while plain
+        # accuracy/energy runs keep hitting their pre-existing stores
+        latency_fields = {"latency_runs": objective.latency_runs} if needs_latency else {}
         store = evaluation_store_for(
             cache_dir,
             ["pareto", splits.name, template.name],
             sharded=cache_sharded,
             seed=seed,
             training=asdict(training),
+            **latency_fields,
             **dataset_fingerprint_fields(splits),
         )
         known_keys = set(store.keys())

@@ -14,7 +14,7 @@ function.  This package provides the required machinery:
 """
 
 from repro.gp.kernels import HammingKernel, Kernel, Matern52Kernel, RBFKernel
-from repro.gp.gp import FantasizedPosterior, GaussianProcessRegressor
+from repro.gp.gp import FantasizedPosterior, GaussianProcessRegressor, tune_kernel
 from repro.gp.acquisition import (
     AcquisitionFunction,
     ExpectedImprovement,
@@ -30,6 +30,7 @@ __all__ = [
     "RBFKernel",
     "FantasizedPosterior",
     "GaussianProcessRegressor",
+    "tune_kernel",
     "AcquisitionFunction",
     "ExpectedImprovement",
     "ProbabilityOfImprovement",

@@ -29,6 +29,7 @@ O(n^3)-per-step regime:
 
 from __future__ import annotations
 
+import copy
 from typing import Optional, Tuple
 
 import numpy as np
@@ -279,6 +280,61 @@ class GaussianProcessRegressor:
         cov[np.diag_indices_from(cov)] += 1e-10
         # "eigh" tolerates the slight asymmetry / near-singularity of GP posteriors
         return rng.multivariate_normal(mean, cov, size=num_samples, method="eigh")
+
+
+def tune_kernel(
+    kernel: Kernel,
+    x: np.ndarray,
+    y: np.ndarray,
+    noise: float,
+    factors: Tuple[float, ...] = (0.25, 0.5, 2.0, 4.0),
+    rounds: int = 2,
+) -> Tuple[Kernel, float]:
+    """Retune a kernel's scalar hyperparameters by marginal likelihood.
+
+    Coordinate descent over the kernel's :attr:`~repro.gp.kernels.Kernel.TUNABLE`
+    parameters (length scale / gamma and signal variance): each round tries
+    multiplying every parameter in turn by each ``factor`` and keeps the value
+    with the best log marginal likelihood, evaluated by a full GP fit on
+    ``(x, y)``.  The grid is deterministic — no random restarts — so a seeded
+    search that adapts its hyperparameters stays reproducible.
+
+    Each candidate evaluation is an O(n^3) fit; the Bayesian optimizer
+    amortises the cost by calling this only every ``hyperopt_every``
+    observations (see :class:`~repro.core.bayes_opt.BayesianOptimizer`).
+
+    Returns ``(kernel, lml)`` — a **new** kernel instance (the input is never
+    mutated; it is returned unchanged when it has no tunables or already
+    maximises the likelihood over the grid) and the winning log marginal
+    likelihood.
+    """
+
+    def lml(candidate: Kernel) -> float:
+        model = GaussianProcessRegressor(kernel=candidate, noise=noise)
+        model.fit(x, y)
+        return model.log_marginal_likelihood()
+
+    best = kernel
+    best_lml = lml(kernel)
+    if not kernel.TUNABLE:
+        return best, best_lml
+    for _ in range(max(1, int(rounds))):
+        improved = False
+        for name in best.TUNABLE:
+            current = float(getattr(best, name))
+            for factor in factors:
+                candidate = copy.copy(best)
+                setattr(candidate, name, current * factor)
+                try:
+                    candidate_lml = lml(candidate)
+                except (scipy.linalg.LinAlgError, RuntimeError):  # pragma: no cover
+                    continue
+                if candidate_lml > best_lml + 1e-12:
+                    best, best_lml = candidate, candidate_lml
+                    improved = True
+        if not improved:
+            break
+    return best, best_lml
 
 
 class FantasizedPosterior:

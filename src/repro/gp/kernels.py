@@ -39,6 +39,12 @@ def _sq_dists(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
 class Kernel:
     """Base kernel interface."""
 
+    #: names of positive scalar hyperparameters that marginal-likelihood
+    #: adaptation may retune (see :func:`repro.gp.gp.tune_kernel`); the first
+    #: entry is the length-scale-like parameter, the second the signal
+    #: variance.  Kernels without tunables leave this empty.
+    TUNABLE: tuple = ()
+
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
         """Return the ``(len(x1), len(x2))`` covariance matrix."""
         raise NotImplementedError
@@ -71,6 +77,8 @@ class Kernel:
 class RBFKernel(Kernel):
     """Squared-exponential kernel ``variance * exp(-||x1 - x2||^2 / (2 l^2))``."""
 
+    TUNABLE = ("length_scale", "variance")
+
     def __init__(self, length_scale: float = 1.0, variance: float = 1.0) -> None:
         if length_scale <= 0 or variance <= 0:
             raise ValueError("length_scale and variance must be positive")
@@ -89,6 +97,8 @@ class RBFKernel(Kernel):
 
 class Matern52Kernel(Kernel):
     """Matérn kernel with smoothness 5/2 — the standard BO default."""
+
+    TUNABLE = ("length_scale", "variance")
 
     def __init__(self, length_scale: float = 1.0, variance: float = 1.0) -> None:
         if length_scale <= 0 or variance <= 0:
@@ -112,8 +122,12 @@ class HammingKernel(Kernel):
 
     ``k(a, b) = variance * exp(-gamma * mean(a_i != b_i))`` — two architectures
     are similar when most of their adjacency entries coincide, regardless of
-    the numeric values used to label the connection types.
+    the numeric values used to label the connection types.  ``gamma`` plays
+    the role of an inverse length scale, so it is the tunable the
+    marginal-likelihood adaptation retunes.
     """
+
+    TUNABLE = ("gamma", "variance")
 
     def __init__(self, gamma: float = 3.0, variance: float = 1.0) -> None:
         if gamma <= 0 or variance <= 0:

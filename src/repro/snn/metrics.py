@@ -11,7 +11,7 @@ layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -76,37 +76,44 @@ class FiringRateMonitor:
 
     def __enter__(self) -> "FiringRateMonitor":
         for name, layer in self._layers.items():
-            self._previous_flags[name] = layer.record_spikes
+            self._previous_flags[name] = (layer.record_spikes, layer.record_history)
             layer.record_spikes = True
-            layer.spike_record = []
+            # the monitor reads only the running sums, so it never pays the
+            # O(num_steps) per-layer retention of the full spike history
+            layer.record_history = False
+            layer.clear_spike_record()
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         for name, layer in self._layers.items():
-            layer.record_spikes = self._previous_flags.get(name, False)
+            layer.record_spikes, layer.record_history = self._previous_flags.get(name, (False, True))
         return None
 
     def statistics(self) -> SpikeStatistics:
-        """Build :class:`SpikeStatistics` from the recorded spike trains."""
+        """Build :class:`SpikeStatistics` from the layers' running spike sums.
+
+        The per-layer rates and totals are maintained incrementally while
+        recording (:meth:`~repro.snn.neurons.SpikingNeuron._record`), so this
+        never re-reduces the full spike record.
+        """
         stats = SpikeStatistics()
         max_steps = 0
         for name, layer in self._layers.items():
-            records: List[np.ndarray] = layer.spike_record
-            if not records:
+            steps = layer.recorded_steps()
+            if not steps:
                 stats.per_layer_rate[name] = 0.0
                 stats.per_layer_spikes[name] = 0.0
                 continue
-            rates = [float(step.mean()) for step in records]
-            stats.per_layer_rate[name] = float(np.mean(rates))
-            stats.per_layer_spikes[name] = float(sum(step.sum() for step in records))
-            max_steps = max(max_steps, len(records))
+            stats.per_layer_rate[name] = layer.firing_rate()
+            stats.per_layer_spikes[name] = layer.recorded_spike_total()
+            max_steps = max(max_steps, steps)
         stats.num_steps = max_steps
         return stats
 
     def clear(self) -> None:
         """Drop all recorded spikes (keeps recording enabled)."""
         for layer in self._layers.values():
-            layer.spike_record = []
+            layer.clear_spike_record()
 
 
 def average_firing_rate(model: Module) -> float:
@@ -114,11 +121,12 @@ def average_firing_rate(model: Module) -> float:
 
     Assumes the model's spiking layers have ``record_spikes`` enabled (e.g. by
     a surrounding :class:`FiringRateMonitor`) and have run at least one
-    sequence.
+    sequence.  Reads the layers' running sums, so it works whether or not the
+    full spike history was retained.
     """
     rates = []
     for module in model.modules():
-        if isinstance(module, SpikingNeuron) and module.spike_record:
+        if isinstance(module, SpikingNeuron) and module.recorded_steps():
             rates.append(module.firing_rate())
     if not rates:
         return 0.0

@@ -16,7 +16,7 @@ from typing import Dict, Type
 import numpy as np
 
 from repro.tensor import Tensor
-from repro.tensor.tensor import ensure_tensor, is_grad_enabled
+from repro.tensor.tensor import ensure_tensor, graph_free, is_grad_enabled
 
 
 class SurrogateGradient:
@@ -125,7 +125,7 @@ def spike_function(membrane, threshold: float, surrogate: SurrogateGradient) -> 
     spikes = (shifted >= 0.0).astype(np.float64)
 
     if not (is_grad_enabled() and membrane.requires_grad):
-        return Tensor(spikes)
+        return graph_free(spikes)
 
     out = Tensor(spikes, requires_grad=True, _prev=(membrane,))
     pseudo_derivative = surrogate.derivative(shifted)

@@ -19,7 +19,8 @@ Python-level loops over array elements, prefer views over copies, use in-place
 accumulation for gradients).
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import Tensor, graph_free, no_grad, is_grad_enabled
+from repro.tensor.workspace import WorkspacePool, clear_workspaces
 from repro.tensor import ops
 from repro.tensor.ops import (
     add,
@@ -57,8 +58,11 @@ from repro.tensor.random import default_rng, seed_everything
 
 __all__ = [
     "Tensor",
+    "graph_free",
     "no_grad",
     "is_grad_enabled",
+    "WorkspacePool",
+    "clear_workspaces",
     "ops",
     "add",
     "broadcast_to",

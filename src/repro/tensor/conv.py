@@ -11,16 +11,29 @@ implementation is fully vectorised:
   blocks) without a Python loop over groups;
 * the backward col2im accumulation loops only over the *kernel* positions
   (e.g. 9 iterations for a 3x3 kernel), never over batch or spatial positions.
+
+When no gradient will ever be needed — under
+:func:`~repro.tensor.tensor.no_grad`, or when neither input requires grad —
+the convolution dispatches to a **graph-free inference kernel** instead: the
+grouped im2col view is copied once into a per-thread workspace column matrix
+(:mod:`repro.tensor.workspace`) and contracted with a single batched GEMM
+(``np.matmul``).  The GEMM reduces over the same ``(channel, kh, kw)`` axis
+order as the einsum path, so the two paths produce bit-identical outputs
+(pinned by ``tests/test_inference_fastpath.py``) while the inference kernel
+avoids the einsum dispatch overhead, the per-call padded-buffer allocation
+and all graph bookkeeping — the im2col scratch is reused across the time
+steps of an SNN simulation instead of being reallocated per step.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from repro.tensor.tensor import Tensor, ensure_tensor, is_grad_enabled
+from repro.tensor.tensor import Tensor, ensure_tensor, graph_free, is_grad_enabled
+from repro.tensor.workspace import workspace
 
 IntOrPair = Union[int, Tuple[int, int]]
 
@@ -85,6 +98,89 @@ def _col2im(
     return padded[:, :, ph : ph + h, pw : pw + w]
 
 
+def _padded_workspace(
+    x: np.ndarray, ph: int, pw: int, key: str, fill: float = 0.0
+) -> np.ndarray:
+    """Copy ``x`` into a pooled padded buffer whose border holds ``fill``.
+
+    The pool key is qualified by the full geometry, so every distinct padded
+    layer of a model owns its buffer: after a layer's first call, its border
+    cells still hold ``fill`` (only the interior is ever overwritten) and the
+    per-step cost is the interior copy alone — even when many layers with
+    different geometries interleave within one simulation step.
+    """
+    n, c, h, w = x.shape
+    signature = (n, c, h, w, ph, pw, fill)
+    padded, matched = workspace(
+        f"{key}:{signature}", (n, c, h + 2 * ph, w + 2 * pw), x.dtype, signature=signature
+    )
+    if not matched:
+        padded[...] = fill
+    padded[:, :, ph : ph + h, pw : pw + w] = x
+    return padded
+
+
+def _conv2d_infer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    groups: int,
+    sh: int,
+    sw: int,
+    ph: int,
+    pw: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Graph-free grouped convolution forward: pooled im2col + one batched GEMM.
+
+    Reduces over ``(c_in_per_group, kh, kw)`` in exactly the order of the
+    autograd path's einsum contraction, so outputs are bit-identical to it.
+    Only the scratch (padded input, column matrix) lives in the workspace
+    pool; the returned array is always freshly allocated by the GEMM.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    out_per_group = c_out // groups
+    if ph or pw:
+        padded = _padded_workspace(x, ph, pw, "conv2d.pad")
+    else:
+        # the strided view below is valid for any regular layout, so even a
+        # transposed view (e.g. a chained fast-path conv output) needs no copy
+        padded = x
+    stride_n, stride_c, stride_h, stride_w = padded.strides
+    # grouped im2col view (G, Cg, KH, KW, N, OH, OW) — contraction axes lead
+    view = as_strided(
+        padded,
+        shape=(groups, c_in_per_group, kh, kw, n, out_h, out_w),
+        strides=(
+            stride_c * c_in_per_group,
+            stride_c,
+            stride_h,
+            stride_w,
+            stride_n,
+            stride_h * sh,
+            stride_w * sw,
+        ),
+        writeable=False,
+    )
+    m = n * out_h * out_w
+    cols, _ = workspace("conv2d.cols", (groups, c_in_per_group * kh * kw, m), x.dtype)
+    np.copyto(cols.reshape(groups, c_in_per_group, kh, kw, n, out_h, out_w), view)
+    if groups == 1:
+        # plain 2-D GEMM skips the batched-matmul dispatch overhead
+        weight_mat = weight.reshape(c_out, c_in_per_group * kh * kw)
+        out = weight_mat @ cols[0]  # (C_out, N*OH*OW), freshly allocated
+        if bias is not None:
+            out += bias.reshape(c_out, 1)
+    else:
+        weight_mat = weight.reshape(groups, out_per_group, c_in_per_group * kh * kw)
+        out = np.matmul(weight_mat, cols)  # (G, Og, N*OH*OW), freshly allocated
+        if bias is not None:
+            out += bias.reshape(groups, out_per_group, 1)
+    return out.reshape(c_out, n, out_h, out_w).transpose(1, 0, 2, 3)
+
+
 def conv2d(
     x,
     weight,
@@ -125,6 +221,14 @@ def conv2d(
     ph, pw = _pair(padding)
     out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
 
+    parents = [p for p in (x, weight, bias) if p is not None]
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    if not requires:
+        bias_data = bias.data if bias is not None else None
+        return graph_free(
+            _conv2d_infer(x.data, weight.data, bias_data, groups, sh, sw, ph, pw, out_h, out_w)
+        )
+
     if ph or pw:
         padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     else:
@@ -137,11 +241,6 @@ def conv2d(
     out = out.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
-
-    parents = [p for p in (x, weight, bias) if p is not None]
-    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-    if not requires:
-        return Tensor(out)
 
     result = Tensor(out, requires_grad=True, _prev=parents)
 
@@ -172,6 +271,16 @@ def max_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: Int
     n, c, h, w = x.shape
     out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
 
+    if not (is_grad_enabled() and x.requires_grad):
+        # graph-free: reduce the strided window view directly — no argmax map,
+        # no (N, C, KH*KW, OH, OW) copy, pooled padded buffer
+        if ph or pw:
+            padded = _padded_workspace(x.data, ph, pw, "max_pool2d.pad", fill=-np.inf)
+        else:
+            padded = x.data
+        col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+        return graph_free(col.max(axis=(2, 3)))
+
     if ph or pw:
         padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf)
     else:
@@ -180,9 +289,6 @@ def max_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: Int
     col_flat = col.reshape(n, c, kh * kw, out_h, out_w)
     arg = col_flat.argmax(axis=2)
     out = np.take_along_axis(col_flat, arg[:, :, None], axis=2)[:, :, 0]
-
-    if not (is_grad_enabled() and x.requires_grad):
-        return Tensor(out)
 
     result = Tensor(out, requires_grad=True, _prev=(x,))
 
@@ -207,15 +313,20 @@ def avg_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: Int
     n, c, h, w = x.shape
     out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
 
+    if not (is_grad_enabled() and x.requires_grad):
+        if ph or pw:
+            padded = _padded_workspace(x.data, ph, pw, "avg_pool2d.pad")
+        else:
+            padded = x.data
+        col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+        return graph_free(col.mean(axis=(2, 3)))
+
     if ph or pw:
         padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     else:
         padded = x.data
     col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
     out = col.mean(axis=(2, 3))
-
-    if not (is_grad_enabled() and x.requires_grad):
-        return Tensor(out)
 
     result = Tensor(out, requires_grad=True, _prev=(x,))
 

@@ -5,11 +5,18 @@ Every function here follows the same pattern:
 1. run the vectorised NumPy forward computation;
 2. if gradients are enabled and at least one input requires them, attach a
    ``_backward`` closure that maps the output gradient to input gradients and
-   accumulates them in place.
+   accumulates them in place;
+3. otherwise take the **graph-free fast path**: return the raw result through
+   :func:`repro.tensor.tensor.graph_free`, skipping closure construction,
+   parent bookkeeping and every intermediate (masks, argmax maps, inverse
+   permutations) that only the backward pass would read.
 
-The closures capture only what they need (typically the input data arrays or
-cheap masks), keeping memory pressure manageable for BPTT-unrolled spiking
-networks.
+The fast path is what the evaluation substrate runs on: an SNN validation
+pass under :func:`~repro.tensor.tensor.no_grad` executes thousands of these
+ops per batch (one per op per layer per time step), so the per-op constant
+matters as much as the kernels themselves.  The closures of the slow path
+capture only what they need (typically the input data arrays or cheap masks),
+keeping memory pressure manageable for BPTT-unrolled spiking networks.
 """
 
 from __future__ import annotations
@@ -18,7 +25,14 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, _as_array, _unbroadcast, ensure_tensor, is_grad_enabled
+from repro.tensor.tensor import (
+    Tensor,
+    _as_array,
+    _unbroadcast,
+    ensure_tensor,
+    graph_free,
+    is_grad_enabled,
+)
 
 Axis = Union[None, int, Tuple[int, ...]]
 
@@ -27,10 +41,19 @@ def _make(data: np.ndarray, parents: Sequence[Tensor], backward) -> Tensor:
     """Build an output tensor, wiring the graph only when grad is required."""
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     if not requires:
-        return Tensor(data)
+        return graph_free(data)
     out = Tensor(data, requires_grad=True, _prev=[p for p in parents if p.requires_grad or p._prev])
     out._backward = backward(out)
     return out
+
+
+def _tracked(a: Tensor, b: Optional[Tensor] = None) -> bool:
+    """Whether an op over these inputs must record the backward graph."""
+    if not is_grad_enabled():
+        return False
+    if b is None:
+        return a.requires_grad
+    return a.requires_grad or b.requires_grad
 
 
 # ---------------------------------------------------------------------------
@@ -41,6 +64,8 @@ def add(a, b) -> Tensor:
     """Elementwise/broadcasted addition."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = a.data + b.data
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -58,6 +83,8 @@ def sub(a, b) -> Tensor:
     """Elementwise/broadcasted subtraction ``a - b``."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = a.data - b.data
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -75,6 +102,8 @@ def mul(a, b) -> Tensor:
     """Elementwise/broadcasted multiplication."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = a.data * b.data
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -92,6 +121,8 @@ def div(a, b) -> Tensor:
     """Elementwise/broadcasted division ``a / b``."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = a.data / b.data
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -109,6 +140,8 @@ def neg(a) -> Tensor:
     """Elementwise negation."""
     a = ensure_tensor(a)
     data = -a.data
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -124,6 +157,8 @@ def power(a, exponent: float) -> Tensor:
     """Elementwise power with a constant exponent."""
     a = ensure_tensor(a)
     data = a.data ** exponent
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -139,6 +174,8 @@ def matmul(a, b) -> Tensor:
     """Matrix product supporting 2-D weight matrices and batched inputs."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = a.data @ b.data
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -162,6 +199,8 @@ def exp(a) -> Tensor:
     """Elementwise exponential."""
     a = ensure_tensor(a)
     data = np.exp(a.data)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -177,6 +216,8 @@ def log(a) -> Tensor:
     """Elementwise natural logarithm."""
     a = ensure_tensor(a)
     data = np.log(a.data)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -192,6 +233,8 @@ def tanh(a) -> Tensor:
     """Elementwise hyperbolic tangent."""
     a = ensure_tensor(a)
     data = np.tanh(a.data)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -212,6 +255,8 @@ def sigmoid(a) -> Tensor:
     data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
     data[~pos] = ex / (1.0 + ex)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -228,6 +273,8 @@ def relu(a) -> Tensor:
     a = ensure_tensor(a)
     mask = a.data > 0
     data = a.data * mask
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -243,6 +290,8 @@ def clip(a, low: float, high: float) -> Tensor:
     """Clamp values to ``[low, high]``; gradient is zero outside the range."""
     a = ensure_tensor(a)
     data = np.clip(a.data, low, high)
+    if not _tracked(a):
+        return graph_free(data)
     mask = (a.data >= low) & (a.data <= high)
 
     def backward(out: Tensor):
@@ -259,6 +308,8 @@ def maximum(a, b) -> Tensor:
     """Elementwise maximum; gradient routed to the winning input (ties split)."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = np.maximum(a.data, b.data)
+    if not _tracked(a, b):
+        return graph_free(data)
     a_wins = a.data > b.data
     tie = a.data == b.data
 
@@ -278,6 +329,8 @@ def minimum(a, b) -> Tensor:
     """Elementwise minimum; gradient routed to the winning input (ties split)."""
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = np.minimum(a.data, b.data)
+    if not _tracked(a, b):
+        return graph_free(data)
     a_wins = a.data < b.data
     tie = a.data == b.data
 
@@ -298,6 +351,8 @@ def where(condition, a, b) -> Tensor:
     cond = _as_array(condition).astype(bool)
     a, b = ensure_tensor(a), ensure_tensor(b)
     data = np.where(cond, a.data, b.data)
+    if not _tracked(a, b):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -319,6 +374,8 @@ def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Sum over ``axis`` (all axes by default)."""
     a = ensure_tensor(a)
     data = a.data.sum(axis=axis, keepdims=keepdims)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -339,6 +396,8 @@ def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Mean over ``axis`` (all axes by default)."""
     a = ensure_tensor(a)
     data = a.data.mean(axis=axis, keepdims=keepdims)
+    if not _tracked(a):
+        return graph_free(data)
     if axis is None:
         count = a.data.size
     else:
@@ -366,6 +425,8 @@ def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Maximum over ``axis``; gradient flows to (all) argmax positions."""
     a = ensure_tensor(a)
     data = a.data.max(axis=axis, keepdims=keepdims)
+    if not _tracked(a):
+        return graph_free(data)
     expanded = a.data.max(axis=axis, keepdims=True)
     mask = (a.data == expanded).astype(np.float64)
     mask_norm = mask / mask.sum(axis=axis, keepdims=True)
@@ -395,6 +456,8 @@ def reshape(a, shape: Sequence[int]) -> Tensor:
     """Reshape without copying data."""
     a = ensure_tensor(a)
     data = a.data.reshape(shape)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -410,6 +473,8 @@ def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
     """Permute axes (reverse order by default)."""
     a = ensure_tensor(a)
     data = np.transpose(a.data, axes=axes)
+    if not _tracked(a):
+        return graph_free(data)
     if axes is None:
         inverse = None
     else:
@@ -429,6 +494,8 @@ def broadcast_to(a, shape: Sequence[int]) -> Tensor:
     """Broadcast to ``shape``; backward sums over expanded axes."""
     a = ensure_tensor(a)
     data = np.broadcast_to(a.data, shape).copy()
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -444,6 +511,8 @@ def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` — the DSC (DenseNet-like) skip primitive."""
     tensors = [ensure_tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
+        return graph_free(data)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -464,6 +533,8 @@ def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     """Stack tensors along a new axis (used to collect per-time-step outputs)."""
     tensors = [ensure_tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
+    if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -481,6 +552,8 @@ def getitem(a, index) -> Tensor:
     """Differentiable indexing/slicing."""
     a = ensure_tensor(a)
     data = a.data[index]
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -501,6 +574,8 @@ def pad2d(a, padding: int) -> Tensor:
         return a
     pad_width = [(0, 0)] * (a.data.ndim - 2) + [(padding, padding), (padding, padding)]
     data = np.pad(a.data, pad_width)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -525,6 +600,8 @@ def softmax(a, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
     data = e / e.sum(axis=axis, keepdims=True)
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -544,6 +621,8 @@ def log_softmax(a, axis: int = -1) -> Tensor:
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     data = shifted - log_sum
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -565,6 +644,8 @@ def dropout_mask(a, drop_probability: float, rng: np.random.Generator) -> Tensor
     keep = 1.0 - drop_probability
     mask = (rng.random(a.shape) < keep).astype(np.float64) / keep
     data = a.data * mask
+    if not _tracked(a):
+        return graph_free(data)
 
     def backward(out: Tensor):
         def _backward() -> None:

@@ -412,3 +412,27 @@ def ensure_tensor(value: ArrayLike) -> Tensor:
     if isinstance(value, Tensor):
         return value
     return Tensor(value)
+
+
+def graph_free(data: np.ndarray) -> Tensor:
+    """Wrap an ndarray in a :class:`Tensor` with no graph, as cheaply as possible.
+
+    This is the constructor of the inference fast path: callers guarantee
+    ``data`` is already a float ndarray (the result of a NumPy kernel), so the
+    coercion and flag logic of :meth:`Tensor.__init__` is skipped entirely.
+    An SNN evaluation creates one output tensor per op per time step; at smoke
+    feature-map sizes the ``__init__`` bookkeeping is a measurable slice of
+    the whole step.  The one exception to "no coercion": full reductions
+    return NumPy scalars, which are promoted to 0-d arrays so ``Tensor.data``
+    is always an ndarray, exactly as :meth:`Tensor.__init__` guarantees.
+    """
+    if type(data) is not np.ndarray:
+        data = np.asarray(data)
+    out = Tensor.__new__(Tensor)
+    out.data = data
+    out.grad = None
+    out.requires_grad = False
+    out._backward = None
+    out._prev = ()
+    out.name = ""
+    return out

@@ -1,7 +1,8 @@
-"""Evaluation helpers: accuracy, confusion matrices and firing-rate evaluation."""
+"""Evaluation helpers: accuracy, confusion matrices, firing-rate and latency."""
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
@@ -83,3 +84,44 @@ def evaluate_with_spikes(
     predictions = scores.argmax(axis=1)
     acc = float((predictions == labels).mean()) if len(labels) else 0.0
     return acc, stats
+
+
+def measure_latency_ms(
+    model: Module,
+    batch: np.ndarray,
+    runs: int = 5,
+    warmup: int = 1,
+) -> float:
+    """Wall-clock latency of one inference forward pass, in milliseconds.
+
+    The timing protocol (documented in ``docs/architecture.md`` and consumed
+    by the ``latency`` search objective): the model is switched to evaluation
+    mode, ``warmup`` untimed passes populate every workspace/state buffer of
+    the inference fast path, then ``runs`` passes are individually timed under
+    :func:`~repro.tensor.tensor.no_grad` and the **median** is returned —
+    robust to scheduler noise, unlike a mean or a single pass.
+
+    ``model`` must map an input batch to scores; spiking models should be
+    wrapped in :class:`repro.snn.temporal.TemporalRunner` first, so the
+    reported number covers the full simulation window (every time step), not
+    a single step.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    inputs = Tensor(np.asarray(batch, dtype=np.float64))
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for _ in range(warmup):
+                model(inputs)
+            timings = []
+            for _ in range(runs):
+                start = time.perf_counter()
+                model(inputs)
+                timings.append(time.perf_counter() - start)
+    finally:
+        model.train(was_training)
+    return float(np.median(timings) * 1e3)

@@ -144,8 +144,13 @@ class TestMultiObjectiveOptimizer:
             make_optimizer(reference_point=[1.0])
 
     def test_missing_metrics_fail_loudly(self):
-        optimizer = make_optimizer(objectives=("accuracy", "latency"))
-        with pytest.raises(KeyError, match="latency"):
+        # the synthetic objective measures latency_ms but never macs or the
+        # latency_steps proxy, so those objectives must fail loudly
+        optimizer = make_optimizer(objectives=("accuracy", "macs"))
+        with pytest.raises(KeyError, match="macs"):
+            optimizer.optimize(1)
+        optimizer = make_optimizer(objectives=("accuracy", "latency_steps"))
+        with pytest.raises(KeyError, match="latency_steps"):
             optimizer.optimize(1)
 
     def test_history_swap_rebuilds_front_and_observations(self):

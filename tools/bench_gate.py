@@ -1,0 +1,133 @@
+"""Regression gate over the substrate benchmark artifact.
+
+Compares the JSON emitted by ``benchmarks/bench_substrate.py`` against the
+committed baseline ``benchmarks/BENCH_5.json`` and fails (exit code 1) when a
+substrate hot path regressed.  Two kinds of check:
+
+* **speedup ratios** (``<case>.speedup`` — fast path over autograd path) are
+  dimensionless, so they transfer across machines: the gate fails when a
+  ratio drops more than ``--threshold`` (default 30%) below the baseline, or
+  below the hard acceptance floors (the inference-mode LIF step and conv2d
+  forward must stay at least 2x faster than the autograd path);
+* **absolute timings** (``*_ms`` / ``ms``) are hardware-dependent — CI
+  runners differ from the baseline machine — so by default they are only
+  *reported*; pass ``--absolute`` to gate them too (useful when baseline and
+  current run on the same box, e.g. a local pre-merge check).
+
+Usage (what the CI bench-smoke job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_substrate.py --smoke --output bench-substrate.json
+    python tools/bench_gate.py --baseline benchmarks/BENCH_5.json --current bench-substrate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: hard floors pinned by the PR-5 acceptance criteria: these hot paths must
+#: stay at least this much faster on the inference path than on autograd
+MIN_SPEEDUPS: Dict[str, float] = {
+    "conv2d_forward": 2.0,
+    "lif_step": 2.0,
+}
+
+
+def _numeric_leaves(payload: Dict, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts to ``case.metric`` -> float (non-numerics dropped)."""
+    flat: Dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_numeric_leaves(value, prefix=f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[path] = float(value)
+    return flat
+
+
+def gate(
+    baseline: Dict,
+    current: Dict,
+    threshold: float = 0.30,
+    gate_absolute: bool = False,
+) -> List[str]:
+    """Return the list of gate failures (empty = pass)."""
+    failures: List[str] = []
+    base_flat = _numeric_leaves(baseline)
+    cur_flat = _numeric_leaves(current)
+
+    for case, floor in MIN_SPEEDUPS.items():
+        key = f"{case}.speedup"
+        value = cur_flat.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from the current artifact")
+        elif value < floor:
+            failures.append(f"{key}: {value:.2f}x is below the acceptance floor {floor:.1f}x")
+
+    for key, base_value in sorted(base_flat.items()):
+        if key not in cur_flat:
+            if key.endswith(".speedup"):
+                failures.append(f"{key}: present in baseline but missing from the current artifact")
+            continue
+        value = cur_flat[key]
+        if key.endswith(".speedup"):
+            # ratios regress when they shrink
+            if base_value > 0 and value < base_value * (1.0 - threshold):
+                failures.append(
+                    f"{key}: {value:.2f}x regressed >{threshold:.0%} vs baseline {base_value:.2f}x"
+                )
+        elif gate_absolute and (key.endswith("_ms") or key.endswith(".ms")):
+            # timings regress when they grow
+            if base_value > 0 and value > base_value * (1.0 + threshold):
+                failures.append(
+                    f"{key}: {value:.3f} ms regressed >{threshold:.0%} vs baseline {base_value:.3f} ms"
+                )
+    return failures
+
+
+def format_comparison(baseline: Dict, current: Dict) -> str:
+    """Side-by-side report of every shared numeric metric."""
+    base_flat = _numeric_leaves(baseline)
+    cur_flat = _numeric_leaves(current)
+    lines = [f"{'metric':<32} {'baseline':>12} {'current':>12} {'delta':>8}"]
+    for key in sorted(set(base_flat) & set(cur_flat)):
+        base_value, value = base_flat[key], cur_flat[key]
+        delta = (value - base_value) / base_value if base_value else float("inf")
+        lines.append(f"{key:<32} {base_value:>12.3f} {value:>12.3f} {delta:>+7.0%}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Gate entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description="Gate substrate benchmark regressions")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_5.json", help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.30, help="relative regression tolerance (default 0.30)"
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also gate absolute *_ms timings (only meaningful on the baseline machine)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+
+    print(format_comparison(baseline, current))
+    failures = gate(baseline, current, threshold=args.threshold, gate_absolute=args.absolute)
+    if failures:
+        print("\nBENCH GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
