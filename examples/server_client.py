@@ -1,0 +1,136 @@
+"""Client walkthrough for the HTTP serving layer — stdlib urllib only.
+
+Against a running server (or an in-process one it boots itself), this
+
+1. checks ``/healthz``,
+2. submits a small multi-objective search job (``POST /jobs``),
+3. streams the job's progress events live (``GET /jobs/<id>/events``,
+   newline-delimited JSON) until the job reaches a terminal state,
+4. fetches the current Pareto front of the accumulated evaluation store
+   (``GET /pareto``),
+5. asks for the best architecture under an energy budget
+   (``GET /recommend?energy_budget=..``) — answered instantly from cache.
+
+Run against an in-process server (boots one on a free port, smoke scale):
+
+    PYTHONPATH=src python examples/server_client.py
+
+or against an already-running ``repro serve``:
+
+    PYTHONPATH=src python examples/server_client.py http://localhost:8000
+
+The endpoint catalog is documented in docs/server.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+
+def get_json(url: str) -> dict:
+    """GET a JSON document; 4xx bodies are JSON too, so decode them as well."""
+    try:
+        with urllib.request.urlopen(url) as reply:
+            return json.load(reply)
+    except urllib.error.HTTPError as error:
+        return json.loads(error.read().decode("utf-8"))
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as reply:
+        return json.load(reply)
+
+
+def stream_events(base_url: str, job_id: str) -> dict:
+    """Follow a job's ndjson event stream; returns the final state event."""
+    last_state = {}
+    with urllib.request.urlopen(f"{base_url}/jobs/{job_id}/events") as stream:
+        for raw_line in stream:
+            event = json.loads(raw_line.decode("utf-8"))
+            if event["type"] == "evaluation":
+                objectives = event.get("objectives") or {
+                    "accuracy": event.get("accuracy")
+                }
+                rendered = ", ".join(
+                    f"{name}={value:.4g}" for name, value in objectives.items()
+                )
+                print(f"  eval {event['completed']}: {event['encoding']}  {rendered}")
+            elif event["type"] == "state":
+                last_state = event
+                print(f"  state -> {event['state']}")
+    return last_state
+
+
+def main() -> None:
+    server = None
+    if len(sys.argv) > 1:
+        base_url = sys.argv[1].rstrip("/")
+    else:
+        # no URL given: boot a server in-process on a free port
+        from repro.server import ReproServer, ServerConfig
+
+        server = ReproServer(
+            ServerConfig(cache_dir=tempfile.mkdtemp(prefix="repro-serve-"), port=0)
+        ).start()
+        base_url = server.url
+        print(f"booted in-process server at {base_url}")
+
+    try:
+        health = get_json(f"{base_url}/healthz")
+        print(f"health: {health['status']}, {health['store']['rows']} cached rows")
+
+        print("submitting a smoke accuracy/energy search job ...")
+        job = post_json(
+            f"{base_url}/jobs",
+            {
+                "objectives": ["accuracy", "energy"],
+                "scale": "smoke",
+                "model": "single_block",
+                "iterations": 4,
+                "seed": 0,
+            },
+        )
+        print(f"  accepted: {job['id']} ({job['kind']}, {job['evals_total']} evals)")
+
+        final = stream_events(base_url, job["id"])
+        if final.get("state") != "completed":
+            print(f"job ended in state {final.get('state')}: {final.get('error')}")
+            return
+
+        front = get_json(f"{base_url}/pareto?objectives=accuracy,energy")
+        print(f"pareto front over {front['rows_considered']} cached rows:")
+        for point in front["front"]:
+            print(f"  {point['encoding']}  {point['objectives']}")
+
+        # pick a budget that the front's median energy satisfies, so the demo
+        # recommendation always finds something
+        energies = sorted(p["objectives"]["energy"] for p in front["front"])
+        budget = energies[len(energies) // 2]
+        reply = get_json(f"{base_url}/recommend?energy_budget={budget}")
+        if reply["found"]:
+            best = reply["recommendation"]
+            print(
+                f"best under energy<={budget:.4g}: {best['encoding']} "
+                f"(accuracy {best['metrics']['val_accuracy']:.4f}, "
+                f"energy {best['metrics']['energy_nj']:.4g} nJ)"
+            )
+        else:
+            print(f"no cached architecture fits energy<={budget:.4g}: {reply['reason']}")
+    finally:
+        if server is not None:
+            server.stop()
+            print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

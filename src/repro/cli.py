@@ -7,12 +7,18 @@ Usage (after installing the package)::
     python -m repro.cli figure3 --scale default --output results/figure3.json
     python -m repro.cli adapt   --dataset dvs128-gesture --model mobilenetv2
     python -m repro.cli pareto  --objectives accuracy,energy --energy-budget 50 --scale smoke
+    python -m repro.cli serve   --port 8000 --cache-dir results/cache
     python -m repro.cli cache compact --cache-dir results/cache
     python -m repro.cli info
 
-Every sub-command prints the paper-style table/series to stdout, optionally
-renders an ASCII chart (``--plot``), and can save the raw result to JSON
-(``--output``) for later post-processing with :mod:`repro.experiments.io`.
+Every batch sub-command prints the paper-style table/series to stdout,
+optionally renders an ASCII chart (``--plot``), and can save the raw result
+to JSON (``--output``) for later post-processing with
+:mod:`repro.experiments.io`.  ``serve`` is the exception: it runs the same
+engine as a long-lived HTTP service (job submission, Pareto/recommendation
+queries answered from the cache, ``/healthz`` + ``/metrics``) until SIGTERM —
+see ``docs/server.md``.  ``cache compact`` maintains the cache directory both
+kinds of run share.
 """
 
 from __future__ import annotations
@@ -142,8 +148,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_async_argument(pareto)
     _add_common_arguments(pareto)
 
-    cache = subparsers.add_parser("cache", help="maintain a persistent evaluation cache directory")
-    cache.add_argument("action", choices=["compact"], help="compact: fold per-writer shards into the base JSONL files")
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived HTTP serving layer over the search + cache subsystems",
+        description="Serve search-as-a-service over one cache directory: POST /jobs submits "
+        "single- or multi-objective searches to background workers, GET /pareto and "
+        "GET /recommend answer instantly from the accumulated evaluation store, and "
+        "/healthz + /metrics (Prometheus text) make the process operable. SIGTERM drains "
+        "in-flight evaluations before exiting. See docs/server.md for the endpoint catalog.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        help="cache directory served: /pareto and /recommend read every evaluation store "
+        "in it, and submitted jobs append their evaluations to it (created if missing)",
+    )
+    serve.add_argument(
+        "--scale",
+        default=None,
+        help="default experiment scale for submitted jobs (smoke, default or paper; "
+        "each job may override it in its request body)",
+    )
+    serve.add_argument(
+        "--async-workers",
+        type=int,
+        default=0,
+        help="default worker processes per submitted job (0 = evaluate serially on the "
+        "job's own thread; jobs may override per request)",
+    )
+    serve.add_argument(
+        "--no-sharded-cache",
+        action="store_true",
+        help="make jobs write single-file stores instead of per-writer shards "
+        "(sharded is the default so several server processes can share --cache-dir)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="maintain a persistent evaluation cache directory (shared by batch runs and `serve`)",
+    )
+    cache.add_argument(
+        "action",
+        choices=["compact"],
+        help="compact: fold per-writer shards into the base JSONL files — run it "
+        "periodically on long-lived cache directories (e.g. one backing `repro serve`) "
+        "so reads stay one-file cheap; safe under concurrent writers",
+    )
     cache.add_argument(
         "--cache-dir",
         required=True,
@@ -254,6 +306,43 @@ def _command_pareto(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.server import ReproServer, ServerConfig
+
+    server = ReproServer(
+        ServerConfig(
+            cache_dir=args.cache_dir,
+            host=args.host,
+            port=args.port,
+            scale=args.scale,
+            async_workers=args.async_workers,
+            sharded_cache=not args.no_sharded_cache,
+        )
+    )
+    stop = threading.Event()
+
+    def _signal_handler(signum, _frame):
+        print(f"received {signal.Signals(signum).name}, shutting down...", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signal_handler)
+    signal.signal(signal.SIGINT, _signal_handler)
+    server.start()
+    print(
+        f"serving on http://{args.host}:{server.port} (cache dir {args.cache_dir}, "
+        f"{server.catalog.total_rows(refresh=False)} cached evaluations)",
+        flush=True,
+    )
+    stop.wait()
+    server.stop()
+    rows = server.catalog.total_rows(refresh=False)
+    print(f"shutdown complete: jobs drained, store holds {rows} evaluations", flush=True)
+    return 0
+
+
 def _command_cache(args) -> int:
     from pathlib import Path
 
@@ -287,6 +376,7 @@ _COMMANDS = {
     "figure3": _command_figure3,
     "adapt": _command_adapt,
     "pareto": _command_pareto,
+    "serve": _command_serve,
     "cache": _command_cache,
     "info": _command_info,
 }

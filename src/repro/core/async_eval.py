@@ -30,6 +30,12 @@ Evaluation workers were made stateless in the result-carried-update refactor
 result), which is precisely what lets one long-lived pool serve the whole
 search: a worker needs nothing from the parent but the pickled objective and
 a spec, and leaks nothing back but the result.
+
+The executor is not tied to one-shot batch runs: the HTTP serving layer
+(:mod:`repro.server`) runs searches under it as background jobs, and its
+graceful shutdown relies on :meth:`AsyncEvaluationExecutor.cancel_pending`
+plus the waiting :meth:`AsyncEvaluationExecutor.close` to drain in-flight
+evaluations without losing any completed result.
 """
 
 from __future__ import annotations
@@ -189,8 +195,35 @@ class AsyncEvaluationExecutor:
         while self.in_flight:
             yield self.next_completed()
 
-    def close(self) -> None:
-        """Shut the worker pool down (waits for running tasks)."""
+    def cancel_pending(self) -> int:
+        """Cancel every submission that has not started running yet.
+
+        The graceful-shutdown hook for long-running hosts (``repro serve``):
+        queued work is dropped, but evaluations already executing are left to
+        finish — their results (and the store rows the cached objective wrote
+        for them) are never lost, so after a subsequent :meth:`close` the
+        persistent store holds exactly the set of completed evaluations.
+        Returns the number of submissions cancelled; their tickets will never
+        surface from :meth:`next_completed`.
+        """
+        cancelled = len(self._pending_serial)
+        self._pending_serial.clear()
+        for ticket, future in list(self._futures.items()):
+            if future.cancel():
+                del self._futures[ticket]
+                self._specs.pop(ticket, None)
+                cancelled += 1
+        return cancelled
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Shut the worker pool down, waiting for running tasks to finish.
+
+        With ``cancel_pending`` set, queued-but-not-started submissions are
+        dropped first (see :meth:`cancel_pending`), so the shutdown drains
+        only the evaluations actually in progress.
+        """
+        if cancel_pending:
+            self.cancel_pending()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

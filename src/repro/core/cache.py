@@ -22,8 +22,18 @@ writers: each writer appends to its own JSONL shard under ``<name>.shards/``
 and reads a merged view of every shard, so parallel search processes and
 worker-pool children share one cache directory without write contention.
 
+The store is no longer only a batch-run artefact: it is the backing table of
+the long-running HTTP serving layer (:mod:`repro.server`).  ``repro serve``
+holds one read view per store open across requests — :meth:`refresh` reloads
+it only when a backing file actually changed — and answers ``/pareto`` and
+``/recommend`` queries instantly from the accumulated rows, while search jobs
+keep appending to their own shards of the same cache directory.  Long-lived
+directories accumulate one shard per writer; ``repro cache compact`` folds
+them back into the base files (see :meth:`ShardedEvaluationStore.compact`).
+
 The on-disk formats (rows, fingerprinted filenames, snapshots, shards) are a
-stable contract documented in ``docs/caching.md``.
+stable contract documented in ``docs/caching.md``; the serving layer is
+documented in ``docs/server.md``.
 
 Pair the store with a :class:`~repro.core.snapshots.WeightSnapshotStore`
 (:func:`snapshot_store_for`) and hits also restore the *weight-sharing* state:
@@ -206,6 +216,28 @@ def result_to_row(result: EvaluationResult) -> Dict[str, object]:
     return row
 
 
+def row_metrics(row: Dict[str, object]) -> Dict[str, float]:
+    """The per-objective metrics dict of a stored row, with legacy fallbacks.
+
+    Rows written since the multi-objective subsystem carry an explicit
+    ``metrics`` field; older rows still recorded accuracy, firing rate and
+    MACs as top-level columns.  Consumers that only need measurements — the
+    serving layer's ``/pareto`` and ``/recommend`` endpoints, offline front
+    extraction — read through this helper so both generations of rows answer
+    queries.
+    """
+    metrics = {str(k): float(v) for k, v in (row.get("metrics") or {}).items()}
+    fallbacks = {
+        "val_accuracy": row.get("accuracy"),
+        "firing_rate": row.get("firing_rate"),
+        "macs": row.get("macs"),
+    }
+    for key, value in fallbacks.items():
+        if key not in metrics and value is not None:
+            metrics[key] = float(value)
+    return metrics
+
+
 def row_to_result(row: Dict[str, object], spec: ArchitectureSpec) -> EvaluationResult:
     """Rebuild an :class:`EvaluationResult` from a stored row.
 
@@ -257,6 +289,32 @@ class PersistentEvaluationStore:
         """Files merged into the read view, oldest layer first."""
         return [self.path] if self.path.exists() else []
 
+    def _sources_signature(self) -> tuple:
+        """(path, mtime_ns, size) of every source file — the staleness check."""
+        signature = []
+        for path in self._source_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            signature.append((str(path), stat.st_mtime_ns, stat.st_size))
+        return tuple(signature)
+
+    def refresh(self) -> bool:
+        """Reload only if a backing file changed; returns whether it did.
+
+        A long-running reader (the HTTP serving layer answers ``/pareto`` and
+        ``/recommend`` from one store instance across requests) must see rows
+        appended by concurrent search processes without re-parsing every
+        shard per request.  The signature is taken *before* each read, so an
+        append racing the read at worst triggers one redundant reload on the
+        next call — never a stale view that stays stale.
+        """
+        if self._sources_signature() == self._loaded_signature:
+            return False
+        self.reload()
+        return True
+
     def _ingest(self, text: str) -> None:
         """Parse one file's JSONL rows into the in-memory view (latest wins)."""
         for line in text.splitlines():
@@ -284,6 +342,10 @@ class PersistentEvaluationStore:
             self.skipped_lines = 0
             self._needs_newline = False
             vanished = False
+            # recorded before reading: rows appended mid-read change the
+            # on-disk signature, so the next refresh() reloads rather than
+            # trusting a view that may have missed them
+            self._loaded_signature = self._sources_signature()
             for path in self._source_paths():
                 try:
                     text = path.read_text()

@@ -175,6 +175,7 @@ def pareto_to_dict(result: ParetoResult) -> Dict:
         "num_evaluations": int(result.num_evaluations),
         "fresh_evaluations": int(result.fresh_evaluations),
         "energy_budget": result.energy_budget,
+        "stopped": bool(result.stopped),
     }
 
 
@@ -189,6 +190,7 @@ def pareto_from_dict(payload: Dict) -> ParetoResult:
         num_evaluations=int(payload.get("num_evaluations", 0)),
         fresh_evaluations=int(payload.get("fresh_evaluations", 0)),
         energy_budget=payload.get("energy_budget"),
+        stopped=bool(payload.get("stopped", False)),
     )
     for point in payload.get("front", []):
         result.front.append(

@@ -21,7 +21,7 @@ multi-objective async engine is deterministic by construction).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,8 +29,10 @@ from repro.core.cache import (
     CachedObjective,
     dataset_fingerprint_fields,
     evaluation_store_for,
+    row_metrics,
     snapshot_store_for,
 )
+from repro.core.pareto import ParetoFront
 from repro.core.multi_objective import (
     MultiObjectiveBayesianOptimizer,
     ObjectiveConstraint,
@@ -42,6 +44,15 @@ from repro.data import load_dataset
 from repro.experiments.config import ExperimentScale, dataset_kwargs, get_scale, model_kwargs
 from repro.models import get_template
 from repro.training.snn_trainer import SNNTrainingConfig
+
+
+class SearchStopped(Exception):
+    """Raised from a progress callback to stop a search cooperatively.
+
+    :func:`run_pareto_front` (and the serving layer's job runner) catches it,
+    drains any in-flight evaluations and returns the partial result — the
+    mechanism behind ``repro serve``'s graceful shutdown.
+    """
 
 
 @dataclass
@@ -71,6 +82,9 @@ class ParetoResult:
     #: evaluations that actually ran (cache misses); 0 for a fully-cached run
     fresh_evaluations: int = 0
     energy_budget: Optional[float] = None
+    #: whether the run ended early via a ``should_stop`` request (the front
+    #: and trace then cover only the evaluations absorbed before the stop)
+    stopped: bool = False
 
     def front_size(self) -> int:
         """Number of non-dominated points found."""
@@ -115,6 +129,8 @@ def run_pareto_front(
     cache_dir: Optional[str] = None,
     cache_sharded: bool = False,
     async_workers: int = 0,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> ParetoResult:
     """Run the multi-objective search and return the Pareto front.
 
@@ -124,6 +140,14 @@ def run_pareto_front(
     acquisition); the reported front still contains every non-dominated
     point, with :meth:`ParetoResult.feasible_front` selecting the compliant
     subset.  The cache flags behave exactly as in the other experiments.
+
+    ``progress`` (used by the serving layer's job manager) receives one dict
+    per absorbed evaluation — encoding, raw objective values and the current
+    hypervolume — as the search runs.  ``should_stop`` is polled at every
+    absorption boundary; once it returns True the search raises
+    :class:`SearchStopped` internally, drains in-flight evaluations (their
+    store rows are kept — they were written by the evaluating process) and
+    returns the partial result with ``stopped=True``.
     """
     scale = scale or get_scale()
     iterations = iterations if iterations is not None else scale.search_iterations
@@ -191,7 +215,36 @@ def run_pareto_front(
         async_workers=async_workers,
         rng=seed,
     )
-    history = optimizer.optimize(max(iterations - initial, 0))
+    absorbed = 0
+
+    def _callback(iteration: int, history) -> None:
+        nonlocal absorbed
+        for record in history.records[absorbed:]:
+            absorbed += 1
+            if progress is not None:
+                try:
+                    raw = {spec.name: spec.raw(record.metrics) for spec in specs}
+                except KeyError:  # pragma: no cover - metrics-less record
+                    raw = {}
+                progress(
+                    {
+                        "type": "evaluation",
+                        "iteration": int(iteration),
+                        "completed": absorbed,
+                        "encoding": [int(v) for v in record.spec.encode()],
+                        "objectives": raw,
+                        "hypervolume": optimizer.hypervolume(),
+                    }
+                )
+        if should_stop is not None and should_stop():
+            raise SearchStopped
+
+    stopped = False
+    try:
+        history = optimizer.optimize(max(iterations - initial, 0), callback=_callback)
+    except SearchStopped:
+        stopped = True
+        history = optimizer.history
 
     if store is not None:
         # fresh evaluations are counted as store growth rather than by the
@@ -215,6 +268,7 @@ def run_pareto_front(
         num_evaluations=len(history),
         fresh_evaluations=fresh,
         energy_budget=energy_budget,
+        stopped=stopped,
     )
     for record in optimizer.front_records():
         result.front.append(
@@ -222,6 +276,73 @@ def run_pareto_front(
                 encoding=[int(v) for v in record.spec.encode()],
                 objectives={spec.name: spec.raw(record.metrics) for spec in specs},
                 num_skips=record.spec.total_skips(),
+            )
+        )
+    return result
+
+
+def pareto_front_from_rows(
+    rows: Sequence[Dict[str, object]],
+    objectives: Sequence[str] = ("accuracy", "energy"),
+    energy_budget: Optional[float] = None,
+    source: str = "store",
+) -> ParetoResult:
+    """Extract the non-dominated front from stored evaluation rows.
+
+    The serving layer's ``GET /pareto`` endpoint (and any offline analysis of
+    an accumulated cache directory) answers from rows the searches already
+    paid for, without running a fresh evaluation: every row whose metrics
+    cover the requested objectives contributes one point, the non-dominated
+    subset is kept, and the hypervolume is reported against a reference
+    derived exactly like the live optimizer's (nadir plus a 10% margin of the
+    observed range per objective).
+
+    Rows lacking a required metric (e.g. pre-latency rows queried for the
+    ``latency`` objective) are skipped, not errors — the front covers what
+    the store can answer.  ``num_evaluations`` counts the contributing rows;
+    ``fresh_evaluations`` is 0 by construction.
+    """
+    specs = resolve_objective_specs(objectives)
+    contributing: List[Dict[str, object]] = []
+    vectors: List[np.ndarray] = []
+    raws: List[Dict[str, float]] = []
+    for row in rows:
+        metrics = row_metrics(row)
+        if any(spec.metric not in metrics for spec in specs):
+            continue
+        contributing.append(row)
+        vectors.append(np.array([spec.value(metrics) for spec in specs]))
+        raws.append({spec.name: spec.raw(metrics) for spec in specs})
+    result = ParetoResult(
+        dataset_name=source,
+        model_name=source,
+        objective_names=[spec.name for spec in specs],
+        num_evaluations=len(contributing),
+        fresh_evaluations=0,
+        energy_budget=energy_budget,
+    )
+    if not contributing:
+        return result
+    observed = np.stack(vectors)
+    nadir = observed.max(axis=0)
+    spread = observed.max(axis=0) - observed.min(axis=0)
+    margin = 0.1 * np.where(spread > 0, spread, np.maximum(np.abs(nadir), 1.0))
+    reference = nadir + margin
+    front = ParetoFront()
+    for index, values in enumerate(vectors):
+        front.insert(values, payload={"index": index})
+    result.reference_point = [float(v) for v in reference]
+    result.hypervolume_curve = [float(front.hypervolume(reference))]
+    points = sorted(front, key=lambda point: float(point.values[0]))
+    for point in points:
+        index = point.payload["index"]
+        row = contributing[index]
+        encoding = [int(v) for v in row.get("encoding", [])]
+        result.front.append(
+            ParetoFrontPoint(
+                encoding=encoding,
+                objectives=raws[index],
+                num_skips=int(row.get("extra", {}).get("num_skips", 0)),
             )
         )
     return result

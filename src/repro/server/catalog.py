@@ -1,0 +1,90 @@
+"""Read view over every evaluation store in one cache directory.
+
+``repro serve`` answers ``/pareto`` and ``/recommend`` from the evaluation
+rows the cache directory has accumulated — across however many fingerprinted
+stores past searches (and currently running jobs) have created.  Re-opening
+and re-parsing every store per request would dominate the request cost, so
+the catalog holds one long-lived :class:`~repro.core.cache.ShardedEvaluationStore`
+read view per base file and relies on
+:meth:`~repro.core.cache.PersistentEvaluationStore.refresh` — a cheap
+(path, mtime, size) signature check — to reload a store only when one of its
+backing files actually changed.  A fully-cached request therefore touches no
+JSONL parsing at all.
+
+The sharded store class is used for *every* base file because it reads both
+layouts: a legacy single ``<name>.jsonl`` plus any per-writer shards under
+``<name>.shards/``.  The catalog never writes: running jobs append through
+their own store instances, and the catalog picks the rows up on the next
+signature change.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.cache import ShardedEvaluationStore
+
+
+class StoreCatalog:
+    """Lazily discovered, signature-refreshed read views of a cache directory."""
+
+    def __init__(self, cache_dir) -> None:
+        self.cache_dir = Path(cache_dir)
+        self._lock = threading.Lock()
+        self._stores: Dict[str, ShardedEvaluationStore] = {}
+
+    # ------------------------------------------------------------------
+    def _discover(self) -> List[str]:
+        """Store base names present on disk (base files and/or shard dirs)."""
+        if not self.cache_dir.is_dir():
+            return []
+        names = {path.stem for path in self.cache_dir.glob("*.jsonl")}
+        for shard_dir in self.cache_dir.glob(f"*{ShardedEvaluationStore.SHARD_SUFFIX}"):
+            if shard_dir.is_dir() and any(shard_dir.glob("*.jsonl")):
+                names.add(shard_dir.name[: -len(ShardedEvaluationStore.SHARD_SUFFIX)])
+        return sorted(names)
+
+    def refresh(self) -> int:
+        """Discover new stores and refresh stale ones; returns the store count."""
+        with self._lock:
+            for name in self._discover():
+                if name not in self._stores:
+                    self._stores[name] = ShardedEvaluationStore(self.cache_dir / f"{name}.jsonl")
+            for store in self._stores.values():
+                store.refresh()
+            return len(self._stores)
+
+    def store_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+    def get(self, name: str) -> Optional[ShardedEvaluationStore]:
+        with self._lock:
+            return self._stores.get(name)
+
+    # ------------------------------------------------------------------
+    def iter_rows(self, store: Optional[str] = None) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(store name, row)`` over the merged view of every store.
+
+        ``store`` filters to base names containing the given substring (the
+        fingerprint suffix makes exact names unwieldy for operators).
+        Callers must :meth:`refresh` first; iteration itself takes no lock
+        beyond snapshotting the store list, because each store's row dict is
+        replaced wholesale on reload, never mutated in place.
+        """
+        with self._lock:
+            stores = sorted(self._stores.items())
+        for name, view in stores:
+            if store is not None and store not in name:
+                continue
+            for row in view.rows():
+                yield name, row
+
+    def total_rows(self, refresh: bool = True) -> int:
+        """Distinct evaluation rows across every store (refreshing by default)."""
+        if refresh:
+            self.refresh()
+        with self._lock:
+            return sum(len(store) for store in self._stores.values())

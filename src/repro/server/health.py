@@ -1,0 +1,67 @@
+"""Health reporting for the serving layer.
+
+``GET /healthz`` answers from a :class:`HealthMonitor` snapshot: process
+liveness (trivially true if the request was answered), uptime, the job
+manager's state counts, the catalog's store/row counts and the recommend
+cache-hit accounting.  The endpoint is cheap by design — a load balancer or
+readiness probe may hit it every few seconds — so the only potentially
+non-trivial work is the catalog's signature check, which touches one ``stat``
+per backing file.
+
+During graceful shutdown the status flips to ``"shutting-down"`` (and the
+HTTP code to 503) so orchestrators stop routing new traffic while in-flight
+evaluations drain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.server.catalog import StoreCatalog
+from repro.server.jobs import JobManager
+
+
+class HealthMonitor:
+    """Aggregates liveness facts about one running server."""
+
+    def __init__(self, catalog: StoreCatalog, jobs: JobManager) -> None:
+        self.catalog = catalog
+        self.jobs = jobs
+        self.started_at = time.time()
+        self.shutting_down = False
+        self.recommend_hits = 0
+        self.recommend_misses = 0
+
+    @property
+    def status(self) -> str:
+        return "shutting-down" if self.shutting_down else "ok"
+
+    @property
+    def recommend_hit_rate(self) -> float:
+        total = self.recommend_hits + self.recommend_misses
+        return self.recommend_hits / total if total else 0.0
+
+    def record_recommend(self, hit: bool) -> None:
+        if hit:
+            self.recommend_hits += 1
+        else:
+            self.recommend_misses += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/healthz`` payload."""
+        return {
+            "status": self.status,
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": self.jobs.counts(),
+            "evals_in_flight": self.jobs.evals_in_flight(),
+            "store": {
+                "stores": self.catalog.refresh(),
+                "rows": self.catalog.total_rows(refresh=False),
+            },
+            "recommend": {
+                "hits": self.recommend_hits,
+                "misses": self.recommend_misses,
+                "hit_rate": self.recommend_hit_rate,
+            },
+        }

@@ -1,0 +1,307 @@
+"""Prometheus-text metrics registry for the serving layer.
+
+The server's operational surface is a ``GET /metrics`` endpoint emitting the
+Prometheus exposition format (text version 0.0.4) — counters, gauges and
+histograms — without depending on ``prometheus_client`` (the repo carries no
+runtime dependencies beyond numpy).  Only the subset the serving layer needs
+is implemented:
+
+* :class:`Counter` — monotonically increasing, with optional labels
+  (request counts per endpoint/method/status, recommend cache hits/misses);
+* :class:`Gauge` — settable, or backed by a callback evaluated at render
+  time (store row count, evaluations in flight, jobs running);
+* :class:`Histogram` — cumulative buckets plus ``_sum``/``_count``
+  (per-endpoint request latency).
+
+All metric types are thread-safe: the HTTP server handles each request on
+its own thread, so increments and observations race freely with renders.
+
+The module-level registry is lazily initialised (:func:`get_registry`) so
+importing the package never allocates server state; each
+:class:`~repro.server.app.ReproServer` instead owns a private
+:class:`MetricsRegistry`, keeping concurrently running servers (and tests)
+isolated from each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default latency buckets (seconds) — sub-millisecond cache answers up to
+#: multi-second search-job submissions
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats as-is."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...], extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    escaped = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + escaped + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, label names, child map."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child metric for one label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.labelnames)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple((name, str(labelvalues[name])) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _unlabelled(self):
+        """The single child of a label-less metric."""
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} requires labels {sorted(self.labelnames)}")
+        return self.labels()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _samples(self) -> Iterable[Tuple[str, Tuple[Tuple[str, str], ...], float]]:
+        """Yield (suffix, label pairs, value) for every child sample."""
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.type_name}"]
+        with self._lock:
+            samples = list(self._samples())
+        for suffix, labels, value in samples:
+            lines.append(f"{self.name}{suffix}{labels} {_format_value(value)}")
+        return lines
+
+
+class _CounterChild:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Counter(_Metric):
+    """Monotonically increasing counter, optionally labelled."""
+
+    type_name = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabelled().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Sum over every label combination (convenience for tests/health)."""
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+    def _samples(self):
+        for labels, child in sorted(self._children.items()):
+            yield "", _format_labels(labels), child.value
+
+
+class _GaugeChild:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._function = None
+            self._value = float(value)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        with self._lock:
+            self._function = function
+
+    def get(self) -> float:
+        with self._lock:
+            function = self._function
+            value = self._value
+        if function is not None:
+            try:
+                return float(function())
+            except Exception:  # pragma: no cover - callback failure
+                return float("nan")
+        return value
+
+
+class Gauge(_Metric):
+    """Settable (or callback-backed) instantaneous value."""
+
+    type_name = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._unlabelled().set(value)
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function`` at render time instead of storing a value."""
+        self._unlabelled().set_function(function)
+
+    def get(self) -> float:
+        return self._unlabelled().get()
+
+    def _samples(self):
+        for labels, child in sorted(self._children.items()):
+            yield "", _format_labels(labels), child.get()
+
+
+class _HistogramChild:
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self._lock = threading.Lock()
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (the Prometheus native layout)."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._unlabelled().observe(value)
+
+    def _samples(self):
+        for labels, child in sorted(self._children.items()):
+            cumulative = 0
+            for bound, count in zip(child.buckets, child.bucket_counts):
+                cumulative += count
+                yield "_bucket", _format_labels(labels, [("le", _format_value(bound))]), cumulative
+            yield "_bucket", _format_labels(labels, [("le", "+Inf")]), child.count
+            yield "_sum", _format_labels(labels), child.sum
+            yield "_count", _format_labels(labels), child.count
+
+
+class MetricsRegistry:
+    """Named collection of metrics rendered as one Prometheus text page.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice for
+    the same name returns the same metric (and raises if the second request
+    asks for a different metric type), so wiring code never has to thread
+    metric handles around.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.type_name}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames=labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames=labelnames, buckets=buckets
+        )
+
+    def render(self) -> str:
+        """The full exposition page (trailing newline included)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+_REGISTRY: Optional[MetricsRegistry] = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The lazily-initialised process-wide registry.
+
+    Servers create their own registries; this shared one exists for ad-hoc
+    instrumentation (scripts, notebooks) that wants a single sink without
+    owning a server instance.
+    """
+    global _REGISTRY
+    with _REGISTRY_LOCK:
+        if _REGISTRY is None:
+            _REGISTRY = MetricsRegistry()
+        return _REGISTRY

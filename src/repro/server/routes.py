@@ -1,0 +1,311 @@
+"""Endpoint handlers and the route table of the serving layer.
+
+Routing is a flat table of ``(method, pattern, handler)`` entries; patterns
+use ``{name}`` placeholders for single path segments.  Handlers receive a
+:class:`Request` (query/body access plus the owning server's subsystems) and
+return a :class:`JSONResponse`, :class:`TextResponse` or — for the event
+stream — a :class:`StreamResponse` whose iterator is written out chunk by
+chunk as the job progresses.  Raising :class:`HTTPError` maps to a JSON error
+body with the given status.
+
+The endpoint catalog (request/response shapes, examples, error semantics) is
+documented for operators in ``docs/server.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.experiments.io import pareto_to_dict
+from repro.experiments.pareto_front import pareto_front_from_rows
+
+#: budget query parameters accepted by ``/recommend``, mapped to the metrics
+#: row key each one constrains (all are upper bounds on minimised metrics)
+RECOMMEND_BUDGETS: Dict[str, str] = {
+    "energy_budget": "energy_nj",
+    "latency_budget": "latency_ms",
+    "latency_steps_budget": "latency_steps",
+    "macs_budget": "macs",
+    "firing_rate_budget": "firing_rate",
+}
+
+
+class HTTPError(Exception):
+    """An error response: ``status`` plus a human-readable message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request plus the server state handlers act on."""
+
+    server: object
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    path_params: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict[str, object]:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HTTPError(400, f"request body is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def float_param(self, name: str) -> Optional[float]:
+        raw = self.param(name)
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError as error:
+            raise HTTPError(400, f"query parameter {name!r} must be a number, got {raw!r}") from error
+
+    def int_param(self, name: str, default: int) -> int:
+        raw = self.param(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as error:
+            raise HTTPError(400, f"query parameter {name!r} must be an integer, got {raw!r}") from error
+
+    def bool_param(self, name: str, default: bool) -> bool:
+        raw = self.param(name)
+        if raw is None:
+            return default
+        return raw.lower() not in ("0", "false", "no", "off")
+
+
+@dataclass
+class JSONResponse:
+    payload: Dict[str, object]
+    status: int = 200
+
+
+@dataclass
+class TextResponse:
+    text: str
+    status: int = 200
+    content_type: str = "text/plain; charset=utf-8"
+
+
+@dataclass
+class StreamResponse:
+    """A chunked body produced lazily (the ndjson event stream)."""
+
+    chunks: Iterator[str]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+
+
+# ---------------------------------------------------------------------------
+# handlers
+# ---------------------------------------------------------------------------
+
+def handle_healthz(request: Request) -> JSONResponse:
+    snapshot = request.server.health.snapshot()
+    status = 200 if snapshot["status"] == "ok" else 503
+    return JSONResponse(snapshot, status=status)
+
+
+def handle_metrics(request: Request) -> TextResponse:
+    return TextResponse(
+        request.server.registry.render(),
+        content_type="text/plain; version=0.0.4; charset=utf-8",
+    )
+
+
+def handle_submit_job(request: Request) -> JSONResponse:
+    from repro.server.jobs import JobValidationError
+
+    try:
+        job = request.server.jobs.submit(request.json())
+    except JobValidationError as error:
+        raise HTTPError(400, str(error)) from error
+    return JSONResponse(job.to_dict(include_result=False), status=202)
+
+
+def handle_list_jobs(request: Request) -> JSONResponse:
+    jobs = request.server.jobs.jobs()
+    return JSONResponse({"jobs": [job.to_dict(include_result=False) for job in jobs]})
+
+
+def _get_job(request: Request):
+    job = request.server.jobs.get(request.path_params["id"])
+    if job is None:
+        raise HTTPError(404, f"unknown job {request.path_params['id']!r}")
+    return job
+
+
+def handle_get_job(request: Request) -> JSONResponse:
+    return JSONResponse(_get_job(request).to_dict())
+
+
+def handle_job_events(request: Request) -> StreamResponse:
+    """Stream a job's event log as newline-delimited JSON.
+
+    ``?since=N`` resumes from sequence number ``N`` (events are numbered from
+    0); ``?follow=0`` returns the currently buffered events and closes
+    instead of following the job to a terminal state.  The stream always ends
+    once the job is terminal and the log is drained, so a plain
+    ``urllib.request.urlopen(...).read()`` on a finished job returns
+    immediately.
+    """
+    job = _get_job(request)
+    since = request.int_param("since", 0)
+    follow = request.bool_param("follow", True)
+
+    def stream() -> Iterator[str]:
+        next_seq = since
+        while True:
+            events, terminal = job.events_since(next_seq, wait=follow)
+            for event in events:
+                next_seq = int(event["seq"]) + 1
+                yield json.dumps(event, separators=(",", ":")) + "\n"
+            if not follow or (terminal and not events):
+                return
+
+    return StreamResponse(stream())
+
+
+def handle_pareto(request: Request) -> JSONResponse:
+    """The current non-dominated front of the merged evaluation store."""
+    objectives = [
+        name.strip()
+        for name in (request.param("objectives", "accuracy,energy") or "").split(",")
+        if name.strip()
+    ]
+    store_filter = request.param("store")
+    catalog = request.server.catalog
+    catalog.refresh()
+    rows = [row for _, row in catalog.iter_rows(store_filter)]
+    try:
+        result = pareto_front_from_rows(rows, objectives=objectives, source="store")
+    except (KeyError, ValueError) as error:
+        raise HTTPError(400, str(error)) from error
+    payload = pareto_to_dict(result)
+    payload["stores"] = catalog.store_names()
+    payload["rows_considered"] = result.num_evaluations
+    return JSONResponse(payload)
+
+
+def handle_recommend(request: Request) -> JSONResponse:
+    """Best cached architecture under the requested metric budgets.
+
+    Answered entirely from the accumulated evaluation store — no evaluation
+    is ever triggered.  A row qualifies when it records every constrained
+    metric within budget (plus ``val_accuracy`` to rank by); the winner is
+    the highest-accuracy qualifier, ties broken by lower energy.  With no
+    qualifying row the response is a 404 whose body explains how many rows
+    were considered, so "no architecture fits this budget" is distinguishable
+    from "the store is empty".
+    """
+    budgets: Dict[str, Tuple[str, float]] = {}
+    for param, metric in RECOMMEND_BUDGETS.items():
+        value = request.float_param(param)
+        if value is not None:
+            budgets[param] = (metric, value)
+    catalog = request.server.catalog
+    catalog.refresh()
+    store_filter = request.param("store")
+    rows_considered = 0
+    candidates = 0
+    best: Optional[Dict[str, object]] = None
+    best_rank: Optional[Tuple[float, float]] = None
+    from repro.core.cache import row_metrics
+
+    for store_name, row in catalog.iter_rows(store_filter):
+        rows_considered += 1
+        metrics = row_metrics(row)
+        if "val_accuracy" not in metrics:
+            continue
+        if any(
+            metric not in metrics or metrics[metric] > bound
+            for metric, bound in budgets.values()
+        ):
+            continue
+        candidates += 1
+        # rank: highest accuracy, then lowest energy (rows without an energy
+        # measurement rank behind measured ones at equal accuracy)
+        rank = (-metrics["val_accuracy"], metrics.get("energy_nj", float("inf")))
+        if best_rank is None or rank < best_rank:
+            best_rank = rank
+            best = {
+                "store": store_name,
+                "key": row.get("key"),
+                "encoding": [int(v) for v in row.get("encoding", [])],
+                "metrics": metrics,
+            }
+    constraints = {param: bound for param, (_, bound) in budgets.items()}
+    hit = best is not None
+    request.server.observe_recommend(hit)
+    payload: Dict[str, object] = {
+        "found": hit,
+        "constraints": constraints,
+        "rows_considered": rows_considered,
+        "candidates": candidates,
+    }
+    if not hit:
+        payload["reason"] = (
+            "evaluation store is empty" if rows_considered == 0 else "no cached evaluation satisfies the budgets"
+        )
+        return JSONResponse(payload, status=404)
+    payload["recommendation"] = best
+    return JSONResponse(payload)
+
+
+#: (method, pattern, handler) — patterns match whole paths, ``{name}``
+#: captures one segment into ``request.path_params``
+ROUTES: List[Tuple[str, str, Callable[[Request], object]]] = [
+    ("GET", "/healthz", handle_healthz),
+    ("GET", "/metrics", handle_metrics),
+    ("POST", "/jobs", handle_submit_job),
+    ("GET", "/jobs", handle_list_jobs),
+    ("GET", "/jobs/{id}", handle_get_job),
+    ("GET", "/jobs/{id}/events", handle_job_events),
+    ("GET", "/pareto", handle_pareto),
+    ("GET", "/recommend", handle_recommend),
+]
+
+
+def resolve(method: str, path: str):
+    """Match one request; returns ``(pattern, handler, path_params)``.
+
+    Raises :class:`HTTPError` 404 for an unknown path and 405 when the path
+    exists under a different method (the distinction matters to clients).
+    """
+    path_segments = [segment for segment in path.split("/") if segment != ""]
+    path_exists = False
+    for route_method, pattern, handler in ROUTES:
+        pattern_segments = [segment for segment in pattern.split("/") if segment != ""]
+        if len(pattern_segments) != len(path_segments):
+            continue
+        params: Dict[str, str] = {}
+        for expected, actual in zip(pattern_segments, path_segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                break
+        else:
+            path_exists = True
+            if route_method == method:
+                return pattern, handler, params
+    if path_exists:
+        raise HTTPError(405, f"method {method} not allowed for {path}")
+    raise HTTPError(404, f"no such endpoint: {path}")

@@ -1,12 +1,18 @@
-"""Keep the docs honest: link-check and doctest `docs/` and README.md.
+"""Keep the docs honest: link-check, anchor-check and doctest `docs/` and README.md.
 
-Two failure modes silently rot prose documentation, and this script (run by
-the CI `docs` job) turns both into build failures:
+Three failure modes silently rot prose documentation, and this script (run by
+the CI `docs` job) turns each into a build failure:
 
 * **dead relative links** — every markdown link or image pointing at a
   repo-relative path must resolve to an existing file or directory
-  (external ``http(s)``/``mailto`` URLs and pure ``#anchor`` links are not
-  checked — CI must not depend on the network);
+  (external ``http(s)``/``mailto`` URLs are not checked — CI must not
+  depend on the network);
+* **dead intra-doc anchors** — every ``#fragment`` (same-file ``#anchor``
+  links and cross-file ``file.md#anchor`` links between checked files) must
+  match a heading's GitHub-style slug in the target file, so a renamed
+  section heading breaks every link pointing at it visibly (the serving
+  layer's endpoint catalog in ``docs/server.md`` is linked by anchor from
+  several places);
 * **stale code examples** — every ``>>>`` example in the checked files is
   executed with :mod:`doctest`, so an API rename breaks the doc visibly.
 
@@ -31,27 +37,71 @@ CHECKED_FILES = (
     "docs/caching.md",
     "docs/benchmarks.md",
     "docs/multi_objective.md",
+    "docs/server.md",
 )
 
 #: markdown inline links/images: [text](target) / ![alt](target)
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
 
-#: link targets that are not repo-relative paths
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+#: markdown ATX headings (the anchors GitHub derives slugs from)
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+
+#: fenced code blocks — headings inside them are not anchors
+FENCE_PATTERN = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+#: link targets that are never repo-relative paths
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
 
-def check_links(path: Path) -> list:
-    """Dead repo-relative link targets in one markdown file."""
+def heading_slug(text: str) -> str:
+    """GitHub's anchor slug for one heading line.
+
+    Inline markup is stripped (``code``, *emphasis*, [link](target) keeps the
+    link text), then: lowercase, drop everything but word characters, spaces
+    and hyphens, replace spaces with hyphens.  Matches GitHub's renderer for
+    the heading shapes used in this repo (including ``GET /pareto``-style
+    endpoint headings, whose slashes simply vanish: ``get-pareto``).
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = re.sub(r"[`*_]", "", text)
+    slug = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return slug.replace(" ", "-")
+
+
+def file_anchors(path: Path) -> set:
+    """Every anchor one markdown file defines (slugs, with -1/-2 duplicates)."""
+    text = FENCE_PATTERN.sub("", path.read_text())
+    anchors: set = set()
+    counts: dict = {}
+    for match in HEADING_PATTERN.finditer(text):
+        slug = heading_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def check_links(path: Path, anchor_cache: dict) -> list:
+    """Dead repo-relative link targets and dead anchors in one markdown file."""
     errors = []
     for target in LINK_PATTERN.findall(path.read_text()):
         if target.startswith(EXTERNAL_PREFIXES):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (path.parent / relative).resolve()
-        if not resolved.exists():
+        relative, _, anchor = target.partition("#")
+        resolved = (path.parent / relative).resolve() if relative else path.resolve()
+        if relative and not resolved.exists():
             errors.append(f"{path.relative_to(REPO_ROOT)}: dead link -> {target}")
+            continue
+        if not anchor:
+            continue
+        # anchors are only checkable in markdown files we can parse headings
+        # from; anchors into other file types are left to reviewers
+        if resolved.suffix != ".md" or not resolved.is_file():
+            continue
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = file_anchors(resolved)
+        if anchor.lower() not in anchor_cache[resolved]:
+            errors.append(f"{path.relative_to(REPO_ROOT)}: dead anchor -> {target}")
     return errors
 
 
@@ -75,18 +125,19 @@ def main() -> int:
     """Check every documented file; returns a process exit code."""
     errors = []
     checked = 0
+    anchor_cache: dict = {}
     for name in CHECKED_FILES:
         path = REPO_ROOT / name
         if not path.exists():
             errors.append(f"missing documented file: {name}")
             continue
         checked += 1
-        errors.extend(check_links(path))
+        errors.extend(check_links(path, anchor_cache))
         errors.extend(check_doctests(path))
     if errors:
         print("\n".join(errors))
         return 1
-    print(f"docs OK: {checked} files, links resolve, doctests pass")
+    print(f"docs OK: {checked} files, links and anchors resolve, doctests pass")
     return 0
 
 
