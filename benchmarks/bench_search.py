@@ -130,10 +130,10 @@ def bench_gp_update(sizes: Sequence[int], repeats: int, dim: int = 24) -> List[D
         y = rng.normal(size=n + 1)
         base = GaussianProcessRegressor(HammingKernel(), noise=1e-3).fit(x[:n], y[:n])
 
-        def refit() -> None:
+        def refit(x=x, y=y) -> None:
             GaussianProcessRegressor(HammingKernel(), noise=1e-3).fit(x, y)
 
-        def update() -> None:
+        def update(x=x, y=y, n=n, base=base) -> None:
             # update() rebinds (never mutates) the fitted arrays, so a shallow
             # clone of the fitted state is enough to restart from `base`
             gp = GaussianProcessRegressor(HammingKernel(), noise=1e-3)

@@ -58,16 +58,18 @@ def _lif_sequence(neuron: LIFNeuron, current: Tensor, steps: int) -> Tensor:
 
 
 @benchmark_case
-def test_conv2d_forward(benchmark, rng=np.random.default_rng(0)):
+def test_conv2d_forward(benchmark):
     """im2col convolution forward on the autograd path (graph recorded)."""
+    rng = np.random.default_rng(0)
     x = Tensor(rng.normal(size=(8, 8, 16, 16)))
     w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
     benchmark(lambda: conv2d(x, w, padding=1))
 
 
 @benchmark_case
-def test_conv2d_forward_inference(benchmark, rng=np.random.default_rng(0)):
+def test_conv2d_forward_inference(benchmark):
     """Graph-free conv forward: pooled im2col workspace + one batched GEMM."""
+    rng = np.random.default_rng(0)
     x = Tensor(rng.normal(size=(8, 8, 16, 16)))
     w = Tensor(rng.normal(size=(16, 8, 3, 3)), requires_grad=True)
 

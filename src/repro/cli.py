@@ -9,6 +9,7 @@ Usage (after installing the package)::
     python -m repro.cli pareto  --objectives accuracy,energy --energy-budget 50 --scale smoke
     python -m repro.cli serve   --port 8000 --cache-dir results/cache
     python -m repro.cli cache compact --cache-dir results/cache
+    python -m repro.cli lint    -- --list-rules
     python -m repro.cli info
 
 Every batch sub-command prints the paper-style table/series to stdout,
@@ -202,6 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory whose sharded stores (<name>.shards/) are compacted in place",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run repro-lint, the repo-specific static analyzer (requires a repo checkout)",
+        description="Delegates to `python -m tools.analyze` from the repository root; "
+        "arguments after `lint` are passed through (see docs/static_analysis.md).",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to tools.analyze (prefix with `--` to pass flags)",
+    )
+
     subparsers.add_parser("info", help="list available datasets, models and scales")
     return parser
 
@@ -363,6 +376,32 @@ def _command_cache(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    """Run the static analyzer from any directory inside a repo checkout.
+
+    ``tools/`` is not part of the installed package (the analyzer inspects
+    source trees, not installed modules), so locate the repository root by
+    walking up from the current directory and import it from there.
+    """
+    from pathlib import Path
+
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "tools" / "analyze" / "cli.py").is_file():
+            if str(candidate) not in sys.path:
+                sys.path.insert(0, str(candidate))
+            from tools.analyze.cli import main as lint_main
+
+            forwarded = [arg for arg in args.lint_args if arg != "--"]
+            return lint_main(forwarded)
+    print(
+        "repro lint: no tools/analyze/ found above the current directory; "
+        "run from a repository checkout",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def _command_info(_args) -> int:
     print("datasets:", ", ".join(available_datasets()))
     print("models:  ", ", ".join(available_models()))
@@ -378,6 +417,7 @@ _COMMANDS = {
     "pareto": _command_pareto,
     "serve": _command_serve,
     "cache": _command_cache,
+    "lint": _command_lint,
     "info": _command_info,
 }
 

@@ -82,7 +82,7 @@ def run_acquisition_ablation(
     scale: Optional[ExperimentScale] = None,
     dataset: str = "cifar10-dvs",
     model: str = "resnet18",
-    acquisitions: List[str] = None,
+    acquisitions: Optional[List[str]] = None,
     seed: int = 0,
 ) -> AblationResult:
     """Compare acquisition functions by final incumbent validation accuracy."""

@@ -43,7 +43,7 @@ def ascii_line_chart(
     max_len = max(len(values) for values in series.values())
     grid = [[" " for _ in range(width)] for _ in range(height)]
 
-    for series_index, (name, values) in enumerate(series.items()):
+    for series_index, values in enumerate(series.values()):
         marker = markers[series_index % len(markers)]
         values = np.asarray(values, dtype=float)
         if values.size == 0:

@@ -29,7 +29,11 @@ def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
     return size, size
 
 
-def kaiming_normal(shape: Tuple[int, ...], rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+#: default He gain, sqrt(2), matching ReLU-family nonlinearities
+HE_GAIN = float(np.sqrt(2.0))
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng=None, gain: float = HE_GAIN) -> np.ndarray:
     """He normal initialisation: ``std = gain / sqrt(fan_in)``."""
     rng = default_rng(rng)
     fan_in, _ = _fan_in_fan_out(shape)
@@ -37,7 +41,7 @@ def kaiming_normal(shape: Tuple[int, ...], rng=None, gain: float = np.sqrt(2.0))
     return rng.normal(0.0, std, size=shape)
 
 
-def kaiming_uniform(shape: Tuple[int, ...], rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+def kaiming_uniform(shape: Tuple[int, ...], rng=None, gain: float = HE_GAIN) -> np.ndarray:
     """He uniform initialisation with bound ``gain * sqrt(3 / fan_in)``."""
     rng = default_rng(rng)
     fan_in, _ = _fan_in_fan_out(shape)

@@ -73,7 +73,7 @@ class _Handler(BaseHTTPRequestHandler):
     #: maximum accepted request body (a job submission is a few hundred bytes)
     max_body_bytes = 1 << 20
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+    def log_message(self, format, *args):  # stdlib signature shadows `format`
         pass  # request logging is served by /metrics, not stderr noise
 
     @property
@@ -91,6 +91,7 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         endpoint = split.path
         status = 500
+        observed = False
         try:
             try:
                 try:
@@ -116,11 +117,17 @@ class _Handler(BaseHTTPRequestHandler):
                     {"error": f"internal error: {type(error).__name__}: {error}"}, status=500
                 )
             status = response.status
+            # record BEFORE flushing the body: a client that has received its
+            # response must find the request in an immediately following
+            # /metrics scrape (recording after the flush races that scrape)
+            self.app.observe_request(endpoint, method, status, time.perf_counter() - started)
+            observed = True
             self._write_response(response)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             status = 499  # client went away mid-response (nginx's convention)
         finally:
-            self.app.observe_request(endpoint, method, status, time.perf_counter() - started)
+            if not observed:  # pragma: no cover - client died before dispatch finished
+                self.app.observe_request(endpoint, method, status, time.perf_counter() - started)
 
     def _write_response(self, response) -> None:
         if isinstance(response, JSONResponse):
@@ -159,10 +166,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.flush()
         self.wfile.write(b"0\r\n\r\n")
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+    def do_GET(self) -> None:  # stdlib naming
         self._dispatch("GET")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def do_POST(self) -> None:  # stdlib naming
         self._dispatch("POST")
 
 

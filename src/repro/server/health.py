@@ -15,6 +15,7 @@ evaluations drain.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict
 
@@ -23,13 +24,19 @@ from repro.server.jobs import JobManager
 
 
 class HealthMonitor:
-    """Aggregates liveness facts about one running server."""
+    """Aggregates liveness facts about one running server.
+
+    Recommend-cache counters are bumped from concurrent request threads, so
+    they live behind a lock; ``+=`` on a bare int would lose increments under
+    interleaving.
+    """
 
     def __init__(self, catalog: StoreCatalog, jobs: JobManager) -> None:
         self.catalog = catalog
         self.jobs = jobs
         self.started_at = time.time()
         self.shutting_down = False
+        self._lock = threading.Lock()
         self.recommend_hits = 0
         self.recommend_misses = 0
 
@@ -39,17 +46,25 @@ class HealthMonitor:
 
     @property
     def recommend_hit_rate(self) -> float:
-        total = self.recommend_hits + self.recommend_misses
-        return self.recommend_hits / total if total else 0.0
+        hits, misses = self._recommend_counts()
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _recommend_counts(self) -> tuple:
+        with self._lock:
+            return self.recommend_hits, self.recommend_misses
 
     def record_recommend(self, hit: bool) -> None:
-        if hit:
-            self.recommend_hits += 1
-        else:
-            self.recommend_misses += 1
+        with self._lock:
+            if hit:
+                self.recommend_hits += 1
+            else:
+                self.recommend_misses += 1
 
     def snapshot(self) -> Dict[str, object]:
         """The ``/healthz`` payload."""
+        hits, misses = self._recommend_counts()
+        total = hits + misses
         return {
             "status": self.status,
             "uptime_seconds": time.time() - self.started_at,
@@ -60,8 +75,8 @@ class HealthMonitor:
                 "rows": self.catalog.total_rows(refresh=False),
             },
             "recommend": {
-                "hits": self.recommend_hits,
-                "misses": self.recommend_misses,
-                "hit_rate": self.recommend_hit_rate,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
             },
         }

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback
 import uuid
 from dataclasses import asdict
 from typing import Dict, List, Optional, Tuple
@@ -86,7 +87,10 @@ class Job:
     # ------------------------------------------------------------------
     @property
     def terminal(self) -> bool:
-        return self.state in TERMINAL_STATES
+        # the Condition's RLock is re-entrant, so callers already holding it
+        # (events_since, to_dict) can use this property safely
+        with self._condition:
+            return self.state in TERMINAL_STATES
 
     @property
     def evals_in_flight(self) -> int:
@@ -96,10 +100,16 @@ class Job:
         running until the budget is spent, so the in-flight count is the
         remaining budget clamped by the worker count while the job runs.
         """
-        if self.state != RUNNING:
-            return 0
-        remaining = max(self.evals_total - self.evals_completed, 0)
+        with self._condition:
+            if self.state != RUNNING:
+                return 0
+            remaining = max(self.evals_total - self.evals_completed, 0)
         return min(max(self.workers, 1), remaining)
+
+    def note_evaluation(self) -> None:
+        """Count one completed evaluation (called from the job thread)."""
+        with self._condition:
+            self.evals_completed += 1
 
     def request_stop(self) -> None:
         self.stop_event.set()
@@ -152,23 +162,26 @@ class Job:
 
     # ------------------------------------------------------------------
     def to_dict(self, include_result: bool = True) -> Dict[str, object]:
-        payload: Dict[str, object] = {
-            "id": self.id,
-            "kind": self.kind,
-            "state": self.state,
-            "params": dict(self.params),
-            "created_at": self.created_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "evals_completed": self.evals_completed,
-            "evals_total": self.evals_total,
-            "evals_in_flight": self.evals_in_flight,
-            "num_events": self._next_seq,
-            "events_dropped": self.events_dropped,
-            "error": self.error,
-        }
-        if include_result:
-            payload["result"] = self.result
+        # a consistent snapshot: request threads serialise jobs while the job
+        # thread mutates them, so read every guarded field under the lock
+        with self._condition:
+            payload: Dict[str, object] = {
+                "id": self.id,
+                "kind": self.kind,
+                "state": self.state,
+                "params": dict(self.params),
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "evals_completed": self.evals_completed,
+                "evals_total": self.evals_total,
+                "evals_in_flight": self.evals_in_flight,
+                "num_events": self._next_seq,
+                "events_dropped": self.events_dropped,
+                "error": self.error,
+            }
+            if include_result:
+                payload["result"] = self.result
         return payload
 
 
@@ -294,7 +307,7 @@ class JobManager:
 
     # ------------------------------------------------------------------
     def _progress(self, job: Job, event: Dict[str, object]) -> None:
-        job.evals_completed += 1
+        job.note_evaluation()
         if self._evals_counter is not None:
             self._evals_counter.inc()
         job.emit(event)
@@ -309,6 +322,10 @@ class JobManager:
             job.result = result
             job.set_state(STOPPED if stopped else COMPLETED)
         except Exception as error:  # a failing search must not kill the server
+            # preserve the full failure, not just str(exc): the traceback is
+            # only reachable here, and a FAILED job with a one-line error is
+            # undebuggable from the API
+            job.emit({"type": "traceback", "traceback": traceback.format_exc()})
             job.set_state(FAILED, error=f"{type(error).__name__}: {error}")
 
     def _run_pareto(self, job: Job) -> Tuple[bool, Dict[str, object]]:

@@ -140,6 +140,8 @@ class _GaugeChild:
         self._lock = threading.Lock()
         self._value = 0.0
         self._function: Optional[Callable[[], float]] = None
+        #: last callback failure, kept so a NaN sample is diagnosable
+        self.last_error: Optional[str] = None
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -156,9 +158,16 @@ class _GaugeChild:
             value = self._value
         if function is not None:
             try:
-                return float(function())
-            except Exception:  # pragma: no cover - callback failure
+                result = float(function())
+            except Exception as error:  # pragma: no cover - callback failure
+                # a failing callback must not break the whole /metrics page,
+                # but the failure must stay visible somewhere
+                with self._lock:
+                    self.last_error = f"{type(error).__name__}: {error}"
                 return float("nan")
+            with self._lock:
+                self.last_error = None
+            return result
         return value
 
 
@@ -198,9 +207,15 @@ class _HistogramChild:
         with self._lock:
             self.count += 1
             self.sum += value
+            # per-bin storage: only the first bucket that fits is incremented;
+            # render-time accumulation produces the cumulative `le` counts the
+            # exposition format requires (incrementing every qualifying bucket
+            # here AND accumulating at render double-counts and breaks
+            # monotonicity against le="+Inf")
             for index, bound in enumerate(self.buckets):
                 if value <= bound:
                     self.bucket_counts[index] += 1
+                    break
 
 
 class Histogram(_Metric):

@@ -203,6 +203,7 @@ class SpikingNeuron(Module):
         self.previous_spikes = spikes
         if self.record_spikes:
             self._record(spk)
+        # repro-lint: disable=buffer-escape (intentional alias: the fast path hands out the persistent spike buffer; run_temporal copies at every retention boundary — see tests/test_inference_fastpath.py)
         return spikes
 
 

@@ -81,7 +81,7 @@ def func_is_picklable(func) -> bool:
         try:
             pickle.dumps(func)
             known = True
-        except Exception:  # noqa: BLE001 - any serialisation failure means "cannot ship"
+        except Exception:  # repro-lint: disable=swallowed-exception (any serialisation failure means "cannot ship"; the probe's only output is the boolean)
             known = False
         try:
             _PICKLABLE_FUNCS[func] = known
@@ -96,7 +96,7 @@ def _workload_is_picklable(func, items) -> bool:
         return False
     try:
         pickle.dumps(items)
-    except Exception:  # noqa: BLE001
+    except Exception:  # repro-lint: disable=swallowed-exception (probe: unpicklable items select the documented sequential fallback)
         return False
     return True
 

@@ -110,7 +110,7 @@ class TestSearchSpaces:
                 assert block.matrix[0, 2] != DSC
 
     def test_space_sizes_are_consistent(self):
-        for name, builder in ALL_BUILDERS.items():
+        for builder in ALL_BUILDERS.values():
             template = builder(input_channels=2, num_classes=4)
             space = template.search_space()
             assert space.size() >= 3

@@ -283,7 +283,7 @@ class TestJobs:
                     assert reply["rows_considered"] >= 3  # never below the seed
                     status, health = get_json(server.url + "/healthz")
                     assert status == 200 and health["status"] == "ok"
-                except Exception as error:  # noqa: BLE001 - collected for the assert
+                except Exception as error:  # collected for the assert below
                     failures.append(repr(error))
                     return
 
@@ -386,3 +386,40 @@ class TestServeCommand:
                 process.communicate()
         assert process.returncode == 0
         assert "shutdown complete: jobs drained" in out
+
+
+class TestMetricsRegistry:
+    """Unit coverage for the hand-rolled registry's exposition correctness."""
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self):
+        from repro.server.metrics import Histogram
+
+        histogram = Histogram("t_seconds", "test", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        rendered = {}
+        for line in histogram.render():
+            if line.startswith("t_seconds_bucket"):
+                label, count = line.split(" ")
+                rendered[label.split('le="')[1].rstrip('"}')] = float(count)
+        # each `le` count includes every smaller bucket, ending at the total
+        assert rendered == {"0.01": 2, "0.1": 3, "1": 4, "+Inf": 5}
+        counts = [rendered["0.01"], rendered["0.1"], rendered["1"], rendered["+Inf"]]
+        assert counts == sorted(counts)
+
+    def test_gauge_callback_failure_is_nan_and_recorded(self):
+        from repro.server.metrics import Gauge
+
+        gauge = Gauge("t_rows", "test")
+
+        def explode() -> float:
+            raise RuntimeError("backing store vanished")
+
+        gauge.set_function(explode)
+        value = gauge.get()
+        assert value != value  # NaN
+        child = gauge._unlabelled()
+        assert child.last_error == "RuntimeError: backing store vanished"
+        gauge.set_function(lambda: 7.0)
+        assert gauge.get() == 7.0
+        assert child.last_error is None

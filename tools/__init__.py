@@ -1,0 +1,3 @@
+"""Repo tooling: CI gates (:mod:`tools.bench_gate`), docs checks
+(:mod:`tools.check_docs`) and the repo-specific static analysis pass
+(:mod:`tools.analyze`, aka ``repro-lint``)."""

@@ -1,0 +1,138 @@
+"""Command line interface for repro-lint.
+
+Run from the repository root::
+
+    python -m tools.analyze                      # analyze the default paths
+    python -m tools.analyze src tools --format json
+    python -m tools.analyze --list-rules
+    repro lint -- --list-rules                   # via the repro CLI
+
+Exit code 0 means no actionable findings and no stale baseline entries;
+1 means the run failed (findings, stale baseline, or bad usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.analyze.core import Report, all_rules, run_analysis
+from tools.analyze.reporters import emit, render_json
+
+#: analyzed when no paths are given (tests are exercised via fixtures instead:
+#: lint fixtures deliberately violate the rules)
+DEFAULT_PATHS = ("src", "tools", "benchmarks", "examples")
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="repro-lint: repo-specific static analysis for this codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="additionally write the full JSON report to FILE (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        metavar="FILE",
+        help="baseline file of grandfathered findings (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined and suppressed findings in text output",
+    )
+    return parser
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule_cls in sorted(all_rules().items()):
+            print(f"{name}: {rule_cls.description}")
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if not paths:
+        parser.error("no paths to analyze (run from the repository root)")
+    baseline = None if args.no_baseline else Path(args.baseline)
+    try:
+        report: Report = run_analysis(
+            [Path(p) for p in paths],
+            root=Path(args.root) if args.root else None,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            baseline_path=baseline,
+            update_baseline=args.update_baseline,
+        )
+    except ValueError as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 1
+
+    emit(report, args.format, sys.stdout, verbose=args.verbose)
+    if args.output:
+        Path(args.output).write_text(render_json(report), encoding="utf-8")
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,389 @@
+"""The repro-lint engine: modules, rules, suppressions, baseline, runner.
+
+Design notes
+------------
+
+* **Rules** are small classes registered with :func:`register`.  A per-module
+  :class:`Rule` sees one parsed file at a time; a :class:`ProjectRule` sees
+  the whole parsed corpus at once (needed for cross-file contracts like the
+  store row schema, whose writer and readers live in different modules).
+* **Suppressions** are inline comments of the form
+  ``# repro-lint: disable=<rule>[,<rule>...] (<reason>)``.  The reason is
+  mandatory: a suppression without one does not suppress anything and is
+  itself reported (rule ``bad-suppression``), so every grandfathered
+  exception in the codebase documents *why* the invariant does not apply.
+  A trailing comment covers findings on its own line; a standalone comment
+  line covers the next line.
+* **Baseline**: ``baseline.json`` holds fingerprints of grandfathered
+  findings.  Matched findings are reported as baselined (exit 0); a baseline
+  entry with no matching finding is *stale* and fails the run, so the
+  baseline can only shrink — it cannot quietly absorb regressions.
+* Fingerprints hash ``rule | path | message`` (no line numbers), so moving
+  code around does not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: severity levels, most severe first (both fail the run; ``warning`` exists
+#: so a future rule can be introduced in report-only mode via ``--ignore``)
+SEVERITIES = ("error", "warning")
+
+_SUPPRESSION_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)\s*(.*)$")
+_REASON_RE = re.compile(r"\((.+)\)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule: str
+    path: str  # posix path relative to the analysis root
+    line: int
+    message: str
+    severity: str = "error"
+
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline (line numbers excluded)."""
+        digest = hashlib.sha256(f"{self.rule}|{self.path}|{self.message}".encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int  # line the suppression covers (not necessarily the comment line)
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class Module:
+    """One parsed source file plus its suppression table."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    #: covered line -> suppression
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+
+
+class Rule:
+    """Base class for per-module rules.  Subclass, set ``name``, implement
+    :meth:`check`, decorate with :func:`register`."""
+
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: object, message: str) -> Finding:
+        line = getattr(node, "lineno", node if isinstance(node, int) else 0)
+        return Finding(
+            rule=self.name,
+            path=module.display_path,
+            line=int(line),
+            message=message,
+            severity=self.severity,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole parsed corpus (cross-file contracts)."""
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover - unused
+        return iter(())
+
+    def check_project(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} must set a name")
+    if cls.name in _RULES:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _RULES[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Name -> class for every registered rule (rule modules imported lazily)."""
+    # deferred import: tools.analyze.rules registers every rule on import, and
+    # importing it at module scope would make core <-> rules circular
+    import tools.analyze.rules  # pyflakes: intentional side-effect import
+
+    _ = tools.analyze.rules
+    return dict(_RULES)
+
+
+# ---------------------------------------------------------------------------
+# suppression parsing
+# ---------------------------------------------------------------------------
+
+def parse_suppressions(
+    text: str, display_path: str
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract suppression comments; malformed ones become findings.
+
+    A suppression must carry a parenthesised reason.  Without one it is
+    ignored *and* reported, so a lazy reason-less ``disable=x`` comment can
+    never silence a rule.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(name.strip() for name in match.group(1).split(",") if name.strip())
+        reason_match = _REASON_RE.search(match.group(2))
+        reason = reason_match.group(1).strip() if reason_match else ""
+        covered = lineno
+        if line[: match.start()].strip() == "":
+            # standalone comment line: covers the next line
+            covered = lineno + 1
+        if not rules or not reason:
+            problems.append(
+                Finding(
+                    rule="bad-suppression",
+                    path=display_path,
+                    line=lineno,
+                    message=(
+                        "suppression needs a parenthesised reason: "
+                        "`# repro-lint: disable=<rule> (<why the invariant does not apply>)`"
+                    ),
+                )
+            )
+            continue
+        suppressions[covered] = Suppression(line=covered, rules=rules, reason=reason)
+    return suppressions, problems
+
+
+# ---------------------------------------------------------------------------
+# file discovery and parsing
+# ---------------------------------------------------------------------------
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    seen = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def load_module(path: Path, root: Path) -> Tuple[Optional[Module], List[Finding]]:
+    """Parse one file; a syntax error becomes a ``parse-error`` finding."""
+    try:
+        display = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        display = path.as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as error:
+        line = getattr(error, "lineno", 0) or 0
+        return None, [
+            Finding(
+                rule="parse-error",
+                path=display,
+                line=int(line),
+                message=f"cannot analyze file: {type(error).__name__}: {error}",
+            )
+        ]
+    suppressions, problems = parse_suppressions(text, display)
+    module = Module(
+        path=path, display_path=display, text=text, tree=tree, suppressions=suppressions
+    )
+    return module, problems
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: Path) -> List[Dict[str, object]]:
+    """Baseline entries (empty when the file is absent or has no findings)."""
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} must hold a list under 'findings'")
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Grandfather the given findings (used by ``--update-baseline``)."""
+    payload = {
+        "version": 1,
+        "comment": (
+            "Grandfathered repro-lint findings. Entries are matched by fingerprint; "
+            "a stale entry (finding no longer present) fails the run, so this file "
+            "only shrinks. Regenerate with --update-baseline."
+        ),
+        "findings": [finding.to_dict() for finding in sorted(findings, key=lambda f: (f.path, f.line))],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding]            # actionable: fail the run
+    baselined: List[Finding]           # matched a baseline entry: reported, pass
+    suppressed: List[Tuple[Finding, Suppression]]  # silenced inline, with reasons
+    stale_baseline: List[Dict[str, object]]        # baseline entries nothing matched
+    files_scanned: int
+    rules_run: List[str]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings or self.stale_baseline else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed": [
+                {**finding.to_dict(), "reason": suppression.reason}
+                for finding, suppression in self.suppressed
+            ],
+            "stale_baseline": self.stale_baseline,
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "exit_code": self.exit_code,
+        }
+
+
+def _select_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    registry = all_rules()
+    names = list(registry)
+    if select:
+        unknown = sorted(set(select) - set(names))
+        if unknown:
+            raise ValueError(f"unknown rule(s) {unknown}; available: {sorted(names)}")
+        names = [name for name in names if name in set(select)]
+    if ignore:
+        names = [name for name in names if name not in set(ignore)]
+    return [registry[name]() for name in names]
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+) -> Report:
+    """Analyze ``paths`` and return a :class:`Report`.
+
+    ``root`` anchors the relative paths used in findings and baseline
+    fingerprints (default: the current working directory).
+    """
+    root = Path.cwd() if root is None else root
+    rules = _select_rules(select, ignore)
+    modules: List[Module] = []
+    raw_findings: List[Finding] = []
+    files = 0
+    for path in iter_python_files([Path(p) for p in paths]):
+        files += 1
+        module, problems = load_module(path, root)
+        raw_findings.extend(problems)
+        if module is not None:
+            modules.append(module)
+
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw_findings.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                raw_findings.extend(rule.check(module))
+
+    # apply inline suppressions (reasons were already validated at parse time)
+    by_display = {module.display_path: module for module in modules}
+    kept: List[Finding] = []
+    suppressed: List[Tuple[Finding, Suppression]] = []
+    for finding in raw_findings:
+        module = by_display.get(finding.path)
+        suppression = module.suppressions.get(finding.line) if module else None
+        if suppression is not None and finding.rule in suppression.rules:
+            suppressed.append((finding, suppression))
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if update_baseline:
+        if baseline_path is None:
+            raise ValueError("--update-baseline requires a baseline path")
+        write_baseline(baseline_path, kept)
+
+    baseline_entries = load_baseline(baseline_path) if baseline_path else []
+    known = {str(entry.get("fingerprint", "")): entry for entry in baseline_entries}
+    actionable: List[Finding] = []
+    baselined: List[Finding] = []
+    matched = set()
+    for finding in kept:
+        fingerprint = finding.fingerprint()
+        if fingerprint in known:
+            matched.add(fingerprint)
+            baselined.append(finding)
+        else:
+            actionable.append(finding)
+    stale = [entry for fingerprint, entry in known.items() if fingerprint not in matched]
+    if update_baseline:
+        stale = []  # the file was just rewritten to match reality
+
+    return Report(
+        findings=actionable,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=files,
+        rules_run=[rule.name for rule in rules],
+    )

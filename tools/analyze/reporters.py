@@ -1,0 +1,57 @@
+"""Report rendering: human-readable text and machine-readable JSON.
+
+The text reporter is what developers read locally and in CI logs; the JSON
+reporter is what CI archives as an artifact (``--output repro-lint.json``) so
+a failing run can be inspected without re-running the analyzer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from tools.analyze.core import Report
+
+
+def render_text(report: Report, verbose: bool = False) -> str:
+    """Human-readable report; one finding per line, grep-friendly."""
+    lines = []
+    for finding in report.findings:
+        lines.append(finding.format())
+    if report.baselined:
+        lines.append("")
+        lines.append(f"baselined (grandfathered, not failing): {len(report.baselined)}")
+        if verbose:
+            for finding in report.baselined:
+                lines.append(f"  {finding.format()}")
+    if report.suppressed and verbose:
+        lines.append("")
+        lines.append(f"suppressed inline: {len(report.suppressed)}")
+        for finding, suppression in report.suppressed:
+            lines.append(f"  {finding.format()}  [reason: {suppression.reason}]")
+    for entry in report.stale_baseline:
+        lines.append(
+            "stale baseline entry (finding no longer present — remove it from "
+            f"baseline.json): {entry.get('rule')} {entry.get('path')} "
+            f"[{entry.get('fingerprint')}]"
+        )
+    lines.append("")
+    status = "FAILED" if report.exit_code else "ok"
+    lines.append(
+        f"repro-lint: {status} — {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {len(report.suppressed)} suppressed, "
+        f"{len(report.stale_baseline)} stale baseline entr(y/ies); "
+        f"{report.files_scanned} file(s), {len(report.rules_run)} rule(s)"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.to_dict(), indent=2) + "\n"
+
+
+def emit(report: Report, fmt: str, stream: IO[str], verbose: bool = False) -> None:
+    if fmt == "json":
+        stream.write(render_json(report))
+    else:
+        stream.write(render_text(report, verbose=verbose) + "\n")

@@ -1,0 +1,190 @@
+"""lock-discipline: state guarded by a lock must always be accessed under it.
+
+The serving layer (PR 6) shares mutable state across request threads, job
+threads and the executor: every ``ThreadingHTTPServer`` request runs on its
+own thread, so any attribute one method mutates under ``with self._lock:``
+(or a ``Condition``) is a data race when another method touches it bare.
+Three checks, all per class and purely lexical:
+
+* **bare write**: an attribute assigned under a ``with self.<lock>:`` block in
+  one method is assigned outside any lock elsewhere (``__init__`` is exempt —
+  the object is not shared during construction);
+* **bare read**: the same, for reads — stale or torn reads are how job state
+  machines and health snapshots go subtly wrong;
+* **unlocked read-modify-write**: ``x.attr += 1`` outside any lock block, in
+  a class that uses locks at all.  Augmented assignment on shared state is
+  never atomic (LOAD / BINARY_OP / STORE interleave freely).
+
+Classes that never take a lock are out of scope: single-threaded ownership is
+this repo's default (e.g. the async executor is documented single-driver), and
+flagging every mutation repo-wide would drown the signal.  A method that is
+*always called with the lock held by its caller* is a lexical false positive —
+prefer passing a snapshot into the helper (see ``MetricsRegistry.render``),
+or suppress with the caller contract as the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from tools.analyze.core import Finding, Module, Rule, register
+
+
+def _lock_attr(item: ast.withitem) -> str:
+    """The attribute name when a with-item is a bare ``self.<attr>``."""
+    expr = item.context_expr
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return ""
+
+
+def _self_attr_writes(node: ast.stmt) -> List[Tuple[str, ast.stmt]]:
+    """Names of ``self.X`` (or ``self.X[...]``) targets assigned by ``node``."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    writes = []
+    for target in targets:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            writes.append((target.attr, node))
+    return writes
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes mutated under `with self.<lock>:` must never be read or "
+        "written bare; read-modify-write needs the lock"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            stmt for stmt in cls.body if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_names: Set[str] = set()
+        for method in methods:
+            for node in ast.walk(method):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        attr = _lock_attr(item)
+                        if attr:
+                            lock_names.add(attr)
+        if not lock_names:
+            return
+
+        # which self attributes are ever written while holding a lock, and where
+        guarded: Dict[str, str] = {}  # attr -> "method (self.<lock>)" for messages
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            for stmt, locked in self._walk_with_lock_state(method, lock_names):
+                if locked:
+                    for attr, _ in _self_attr_writes(stmt):
+                        guarded.setdefault(attr, f"{method.name}() under self.{locked}")
+
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            for stmt, locked in self._walk_with_lock_state(method, lock_names):
+                if not locked:
+                    for attr, node in _self_attr_writes(stmt):
+                        if attr in guarded:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"{cls.name}.{attr} is written in {guarded[attr]} but "
+                                f"written here without the lock",
+                            )
+                    if isinstance(stmt, ast.AugAssign):
+                        target = stmt.target
+                        if isinstance(target, ast.Subscript):
+                            target = target.value
+                        if isinstance(target, ast.Attribute):
+                            yield self.finding(
+                                module,
+                                stmt,
+                                f"unlocked read-modify-write of `.{target.attr}` in "
+                                f"{cls.name}.{method.name}(): augmented assignment is not "
+                                "atomic; hold the lock that guards this state",
+                            )
+                # reads are checked per-expression so a locked statement's
+                # sub-expressions count as locked
+                if not locked:
+                    for attr, node in self._self_attr_reads(stmt):
+                        if attr in guarded:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"{cls.name}.{attr} is written in {guarded[attr]} but "
+                                f"read here without the lock (stale/torn read)",
+                            )
+
+    # ------------------------------------------------------------------
+    def _walk_with_lock_state(
+        self, method: ast.AST, lock_names: Set[str]
+    ) -> Iterator[Tuple[ast.stmt, str]]:
+        """Yield ``(statement, lock_held)`` for every statement in ``method``.
+
+        ``lock_held`` is the lock attribute name when the statement is
+        lexically inside a ``with self.<lock>:`` block, else ``""``.  Nested
+        function definitions inherit the surrounding lock state (they are
+        treated as running where they are defined — true for the
+        define-and-call-under-lock helper pattern).
+        """
+
+        def visit(stmts: List[ast.stmt], locked: str) -> Iterator[Tuple[ast.stmt, str]]:
+            for stmt in stmts:
+                inner = locked
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        attr = _lock_attr(item)
+                        if attr in lock_names:
+                            inner = attr
+                yield stmt, locked
+                for block in ("body", "orelse", "finalbody"):
+                    yield from visit(getattr(stmt, block, []), inner)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from visit(handler.body, inner)
+
+        yield from visit(getattr(method, "body", []), "")
+
+    def _self_attr_reads(self, stmt: ast.stmt) -> List[Tuple[str, ast.expr]]:
+        """``self.X`` loads directly in this statement (not nested blocks)."""
+        reads = []
+        nested_blocks: List[ast.stmt] = []
+        for block in ("body", "orelse", "finalbody"):
+            nested_blocks.extend(getattr(stmt, block, []))
+        for handler in getattr(stmt, "handlers", []):
+            nested_blocks.extend(handler.body)
+        skip = {id(sub) for nested in nested_blocks for sub in ast.walk(nested)}
+        for node in ast.walk(stmt):
+            if id(node) in skip:
+                continue
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                reads.append((node.attr, node))
+        return reads

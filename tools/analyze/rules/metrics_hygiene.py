@@ -1,0 +1,147 @@
+"""metrics-hygiene: Prometheus metrics are registered once, with bounded labels.
+
+The hand-rolled metrics registry (:mod:`repro.server.metrics`) mirrors the
+Prometheus client contract: registering the same metric name twice raises, and
+every distinct label value materialises a child series that lives for the
+process lifetime.  Two failure modes this rule blocks:
+
+* **registration inside request paths**: ``registry.counter(...)`` (or
+  ``gauge``/``histogram``) called from an ordinary method or function runs
+  once per call — the second request blows up with a duplicate-name error.
+  Registration belongs at module scope or in ``__init__``/``__new__`` of a
+  long-lived object.
+* **unbounded label cardinality**: label *names* must be a literal tuple/list
+  of literal strings, and dynamic metric *names* (f-strings, concatenation,
+  variables) are flagged — a metric name built from user input is a series
+  leak.  (Label *values* are bounded at call time by the registry's
+  ``<unmatched>`` guard; this rule polices the declaration side.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from tools.analyze.core import Finding, Module, Rule, register
+
+#: registry factory methods that create + register a metric
+FACTORY_METHODS = {"counter", "gauge", "histogram", "summary"}
+
+#: receiver names that mark the object as a metrics registry
+RECEIVER_MARKER = "registry"
+
+#: scopes where registration is allowed
+ALLOWED_METHODS = {"__init__", "__new__"}
+
+
+def _receiver_name(func: ast.expr) -> str:
+    """`registry.counter` -> "registry"; `self._registry.gauge` -> "_registry"."""
+    if not isinstance(func, ast.Attribute):
+        return ""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return ""
+
+
+def _is_registration(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in FACTORY_METHODS:
+        return False
+    return RECEIVER_MARKER in _receiver_name(func).lower()
+
+
+def _literal_str(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+@register
+class MetricsHygieneRule(Rule):
+    name = "metrics-hygiene"
+    description = (
+        "metrics must be registered once (module scope or __init__) with a "
+        "literal name and a literal, bounded label-name set"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for call, allowed_scope in self._registrations(module.tree):
+            if not allowed_scope:
+                yield self.finding(
+                    module,
+                    call,
+                    "metric registered inside a function/method body: the second "
+                    "call re-registers the same name and raises; move registration "
+                    "to module scope or __init__",
+                )
+            yield from self._check_arguments(module, call)
+
+    # ------------------------------------------------------------------
+    def _registrations(self, tree: ast.AST) -> List[Tuple[ast.Call, bool]]:
+        found: List[Tuple[ast.Call, bool]] = []
+
+        def direct_calls(stmt: ast.stmt):
+            """Calls in this statement's own expressions, not nested blocks."""
+            nested: List[ast.stmt] = []
+            for block in ("body", "orelse", "finalbody"):
+                nested.extend(getattr(stmt, block, []))
+            for handler in getattr(stmt, "handlers", []):
+                nested.extend(handler.body)
+            skip = {id(sub) for child in nested for sub in ast.walk(child)}
+            for node in ast.walk(stmt):
+                if id(node) not in skip and isinstance(node, ast.Call):
+                    yield node
+
+        def scan(stmts, allowed: bool) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.ClassDef):
+                    scan(stmt.body, allowed=True)  # class body executes once
+                    continue
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan(stmt.body, allowed=stmt.name in ALLOWED_METHODS)
+                    continue
+                for node in direct_calls(stmt):
+                    if _is_registration(node):
+                        found.append((node, allowed))
+                for block in ("body", "orelse", "finalbody"):
+                    scan(getattr(stmt, block, []), allowed)
+                for handler in getattr(stmt, "handlers", []):
+                    scan(handler.body, allowed)
+
+        scan(getattr(tree, "body", []), allowed=True)
+        return found
+
+    def _check_arguments(self, module: Module, call: ast.Call) -> Iterator[Finding]:
+        name_arg = call.args[0] if call.args else None
+        for keyword in call.keywords:
+            if keyword.arg == "name":
+                name_arg = keyword.value
+        if name_arg is not None and not _literal_str(name_arg):
+            yield self.finding(
+                module,
+                name_arg,
+                "metric name must be a string literal: dynamic names leak an "
+                "unbounded series per distinct value",
+            )
+        for keyword in call.keywords:
+            if keyword.arg in ("labelnames", "labels", "label_names"):
+                yield from self._check_labelnames(module, keyword.value)
+
+    def _check_labelnames(self, module: Module, value: ast.expr) -> Iterator[Finding]:
+        if isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                if not _literal_str(element):
+                    yield self.finding(
+                        module,
+                        element,
+                        "label names must be literal strings — a computed label "
+                        "name makes the series set unbounded",
+                    )
+            return
+        yield self.finding(
+            module,
+            value,
+            "label names must be a literal tuple/list of strings so the label "
+            "set is bounded and reviewable",
+        )

@@ -1,0 +1,115 @@
+"""store-schema-drift: every field the store writes must have a reader.
+
+The JSONL evaluation store (:mod:`repro.core.cache`) is append-only and
+long-lived: rows written by one version of the code are read back by every
+later version (warm-start, Pareto reconstruction, the HTTP catalog).  The
+schema lives in convention, not in a migration system, so drift is silent:
+a field added to :func:`result_to_row` that no reader consumes is dead weight
+at best and, at worst, a sign the writer and readers disagree about where a
+value lives.
+
+This is a cross-file (project) rule: the writer and its readers live in
+different modules.  It collects the literal keys ``result_to_row`` writes
+(dict-literal keys plus ``row[...] =`` subscript assignments) and the keys any
+known reader consumes (``row["k"]`` loads, ``row.get("k", ...)`` and
+``"k" in row`` membership tests), then flags written-but-never-read keys at
+the writer's location.  Keys read but never written are fine — readers default
+them for backward compatibility with old rows, which is the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from tools.analyze.core import Finding, Module, ProjectRule, register
+
+WRITER = "result_to_row"
+READERS = ("row_to_result", "row_metrics", "pareto_front_from_rows")
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _written_keys(func: ast.FunctionDef) -> List[Tuple[str, ast.AST]]:
+    keys: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.append((key.value, key))
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.append((target.slice.value, target))
+    return keys
+
+
+def _read_keys(func: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr == "get"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                keys.add(node.args[0].value)
+        elif isinstance(node, ast.Compare):
+            if (
+                isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+                and any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops)
+            ):
+                keys.add(node.left.value)
+    return keys
+
+
+@register
+class StoreSchemaDriftRule(ProjectRule):
+    name = "store-schema-drift"
+    description = (
+        "fields written by result_to_row must be consumed (or defaulted) by a "
+        "store reader; written-but-never-read keys are schema drift"
+    )
+
+    def check_project(self, modules: List[Module]) -> Iterator[Finding]:
+        writers: List[Tuple[Module, ast.FunctionDef]] = []
+        read: Set[str] = set()
+        readers_seen = 0
+        for module in modules:
+            for func in _functions(module.tree):
+                if func.name == WRITER:
+                    writers.append((module, func))
+                elif func.name in READERS:
+                    read |= _read_keys(func)
+                    readers_seen += 1
+        if not writers or not readers_seen:
+            return  # nothing to cross-check in this file set
+        for module, func in writers:
+            for key, node in _written_keys(func):
+                if key not in read:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"store field {key!r} is written by {WRITER}() but no reader "
+                        f"({', '.join(READERS)}) ever reads or defaults it — schema "
+                        "drift between writer and readers",
+                    )

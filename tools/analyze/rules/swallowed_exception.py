@@ -1,0 +1,85 @@
+"""swallowed-exception: broad handlers must use what they catch.
+
+Background job threads (:mod:`repro.server.jobs`) and fallback paths are
+where errors go to die: an ``except Exception:`` whose body never touches the
+exception — no re-raise, no logging of the caught object, no stashing it on
+state — turns a real failure into a silent no-op.  The serving layer's job
+threads did exactly this before this rule existed: a failed search left the
+job FAILED with a one-line ``str(exc)`` and no traceback.
+
+The rule flags a handler when **all** of the following hold:
+
+* it catches a broad type (``Exception``, ``BaseException`` or a bare
+  ``except:``),
+* the body contains no ``raise``,
+* the caught exception is never referenced (either unbound, or bound to a
+  name that no expression in the body loads).
+
+Intentional catch-alls (documented fallbacks, probe loops) must carry a
+``repro-lint: disable=swallowed-exception (<why the fallback is safe>)``
+comment — the reason requirement is the point: every silent handler in the
+tree has a written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.analyze.core import Finding, Module, Rule, register
+
+BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except:
+    node = handler.type
+    if isinstance(node, ast.Name):
+        return node.id in BROAD
+    if isinstance(node, ast.Tuple):
+        return any(isinstance(el, ast.Name) and el.id in BROAD for el in node.elts)
+    return False
+
+
+def _references_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == handler.name:
+                return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    name = "swallowed-exception"
+    description = (
+        "broad `except Exception:` handlers that neither re-raise nor reference "
+        "the caught exception silently destroy failure information"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _reraises(node) or _references_exception(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad exception handler swallows the error: it neither re-raises "
+                "nor references the caught exception — log it, stash it on state, "
+                "or suppress with the reason the fallback is safe",
+            )

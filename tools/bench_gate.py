@@ -115,6 +115,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        if not Path(path).is_file():
+            print(
+                f"bench gate: {label} file {path!r} does not exist — refusing to "
+                "gate against nothing (was the benchmark artifact renamed or the "
+                "bench step skipped?)",
+                file=sys.stderr,
+            )
+            return 1
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
 
