@@ -21,6 +21,18 @@ from repro.tensor import Tensor
 from repro.tensor.random import default_rng
 
 
+def _as_float_batch(batch) -> np.ndarray:
+    """Coerce a batch to a float array, preserving an existing float dtype.
+
+    float32 inputs stay float32 (the substrate is dtype-parametrised end to
+    end); everything else — ints, bools, lists — lands on float64 as before.
+    """
+    batch = np.asarray(batch)
+    if batch.dtype.kind != "f":
+        batch = batch.astype(np.float64)
+    return batch
+
+
 class SpikeEncoder:
     """Base encoder interface."""
 
@@ -34,7 +46,7 @@ class SpikeEncoder:
         raise NotImplementedError
 
     def __call__(self, batch: np.ndarray) -> List[Tensor]:
-        return [Tensor(step) for step in self.encode(np.asarray(batch, dtype=np.float64))]
+        return [Tensor(step) for step in self.encode(_as_float_batch(batch))]
 
 
 class RateEncoder(SpikeEncoder):
@@ -55,7 +67,7 @@ class RateEncoder(SpikeEncoder):
     def encode(self, batch: np.ndarray) -> List[np.ndarray]:
         probabilities = np.clip(batch * self.gain, 0.0, 1.0)
         return [
-            (self._rng.random(probabilities.shape) < probabilities).astype(np.float64)
+            (self._rng.random(probabilities.shape) < probabilities).astype(batch.dtype)
             for _ in range(self.num_steps)
         ]
 
@@ -78,7 +90,7 @@ class LatencyEncoder(SpikeEncoder):
         silent = clipped < self.threshold
         steps = []
         for t in range(self.num_steps):
-            frame = ((spike_times == t) & ~silent).astype(np.float64)
+            frame = ((spike_times == t) & ~silent).astype(batch.dtype)
             steps.append(frame)
         return steps
 
@@ -124,7 +136,7 @@ def encode_batch(batch: np.ndarray, encoder: Optional[SpikeEncoder], num_steps: 
     Temporal batches (ndim >= 5, i.e. ``(N, T, C, H, W)``) are passed through
     :class:`EventFrameEncoder` automatically when no encoder is given.
     """
-    batch = np.asarray(batch, dtype=np.float64)
+    batch = _as_float_batch(batch)
     if encoder is None:
         if batch.ndim >= 5:
             encoder = EventFrameEncoder(num_steps)

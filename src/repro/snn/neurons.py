@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.tensor import Tensor
+from repro.tensor.sparse import spike_events
 from repro.tensor.tensor import graph_free, is_grad_enabled
 from repro.snn.surrogate import FastSigmoidSurrogate, SurrogateGradient, get_surrogate, spike_function
 
@@ -194,13 +195,18 @@ class SpikingNeuron(Module):
 
     def _emit_inference(self, mem: np.ndarray, shifted: np.ndarray) -> Tensor:
         """Threshold ``shifted`` (membrane minus threshold shift) into spikes."""
-        spk = self._fast_buffer("spikes", mem.shape)
+        spk = self._fast_buffer("spikes", mem.shape, mem.dtype)
         spike_bool = self._fast_buffer("spike_bool", mem.shape, bool)
         np.greater_equal(shifted, 0.0, out=spike_bool)
         np.copyto(spk, spike_bool, casting="unsafe")
         self.membrane = graph_free(mem)
         spikes = graph_free(spk)
         self.previous_spikes = spikes
+        # under sparse inference, low-activity steps ship their nonzero index
+        # list with the spike tensor (fresh flatnonzero output, never scratch)
+        events = spike_events(spike_bool, spk.dtype)
+        if events is not None:
+            spikes._events = events
         if self.record_spikes:
             self._record(spk)
         # repro-lint: disable=buffer-escape (intentional alias: the fast path hands out the persistent spike buffer; run_temporal copies at every retention boundary — see tests/test_inference_fastpath.py)
@@ -253,8 +259,8 @@ class LIFNeuron(SpikingNeuron):
 
     def _forward_inference(self, synaptic_input: Tensor) -> Tensor:
         data = synaptic_input.data
-        mem = self._fast_buffer("membrane", data.shape)
-        scratch = self._fast_buffer("scratch", data.shape)
+        mem = self._fast_buffer("membrane", data.shape, data.dtype)
+        scratch = self._fast_buffer("scratch", data.shape, data.dtype)
         if self.membrane is None:
             np.copyto(mem, data)
         else:
@@ -292,8 +298,8 @@ class IFNeuron(SpikingNeuron):
 
     def _forward_inference(self, synaptic_input: Tensor) -> Tensor:
         data = synaptic_input.data
-        mem = self._fast_buffer("membrane", data.shape)
-        scratch = self._fast_buffer("scratch", data.shape)
+        mem = self._fast_buffer("membrane", data.shape, data.dtype)
+        scratch = self._fast_buffer("scratch", data.shape, data.dtype)
         if self.membrane is None:
             np.copyto(mem, data)
         else:
@@ -373,14 +379,14 @@ class ALIFNeuron(SpikingNeuron):
 
     def _forward_inference(self, synaptic_input: Tensor) -> Tensor:
         data = synaptic_input.data
-        mem = self._fast_buffer("membrane", data.shape)
-        scratch = self._fast_buffer("scratch", data.shape)
+        mem = self._fast_buffer("membrane", data.shape, data.dtype)
+        scratch = self._fast_buffer("scratch", data.shape, data.dtype)
         if self.membrane is None:
             np.copyto(mem, data)
         else:
             self._state_into(mem, self.membrane)
             self._membrane_update_inference(mem, data, scratch, self.beta)
-        adaptive = self._fast_buffer("adaptive", data.shape)
+        adaptive = self._fast_buffer("adaptive", data.shape, data.dtype)
         if self._adaptive_component is None:
             adaptive[...] = 0.0
         else:
@@ -456,9 +462,9 @@ class SynapticNeuron(SpikingNeuron):
 
     def _forward_inference(self, synaptic_input: Tensor) -> Tensor:
         data = synaptic_input.data
-        current = self._fast_buffer("current", data.shape)
-        mem = self._fast_buffer("membrane", data.shape)
-        scratch = self._fast_buffer("scratch", data.shape)
+        current = self._fast_buffer("current", data.shape, data.dtype)
+        mem = self._fast_buffer("membrane", data.shape, data.dtype)
+        scratch = self._fast_buffer("scratch", data.shape, data.dtype)
         if self.current is None:
             np.copyto(current, data)
         else:
@@ -513,8 +519,8 @@ class LeakyIntegrator(Module):
         if not is_grad_enabled():
             data = synaptic_input.data
             mem = self._fast.get("membrane")
-            if mem is None or mem.shape != data.shape:
-                mem = np.empty_like(data, dtype=np.float64)
+            if mem is None or mem.shape != data.shape or mem.dtype != data.dtype:
+                mem = np.empty_like(data)
                 self._fast["membrane"] = mem
             if self.membrane is None:
                 np.copyto(mem, data)

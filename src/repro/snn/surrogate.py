@@ -122,7 +122,7 @@ def spike_function(membrane, threshold: float, surrogate: SurrogateGradient) -> 
     """
     membrane = ensure_tensor(membrane)
     shifted = membrane.data - threshold
-    spikes = (shifted >= 0.0).astype(np.float64)
+    spikes = (shifted >= 0.0).astype(membrane.data.dtype)
 
     if not (is_grad_enabled() and membrane.requires_grad):
         return graph_free(spikes)

@@ -26,6 +26,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.snn.encoding import SpikeEncoder, encode_batch
 from repro.tensor import Tensor, ops
+from repro.tensor.sparse import annotate_frame
 from repro.tensor.tensor import graph_free, is_grad_enabled
 
 #: valid values for the ``readout`` argument
@@ -118,6 +119,11 @@ def run_temporal(
     accumulator: Optional[np.ndarray] = None
     out: Optional[Tensor] = None
     for t, frame in enumerate(steps):
+        if not grad_mode:
+            # under sparse inference, hand binary low-activity encoder frames
+            # to the first layer with their event list attached (no-op when
+            # sparse mode is off or the frame is dense/non-binary)
+            annotate_frame(frame)
         out = model(frame)
         if step_callback is not None:
             if grad_mode:
@@ -126,14 +132,16 @@ def run_temporal(
                 # the raw output may alias a reused neuron buffer; callbacks
                 # (e.g. the spike-based losses) are documented to retain
                 # their per-step outputs, so hand them an owning copy
-                step_callback(t, graph_free(np.array(out.data, dtype=np.float64, copy=True)))
+                step_callback(t, graph_free(np.array(out.data, copy=True)))
         if readout != "membrane_last":
             if grad_mode:
                 total = out if total is None else total + out
             elif accumulator is None:
                 # fresh accumulator per call: the step output may alias a
                 # neuron buffer that later steps (or the next batch) overwrite
-                accumulator = out.data.astype(np.float64, copy=True)
+                # (dtype preserved — the float32 substrate aggregates in
+                # float32; the tolerance contract covers the difference)
+                accumulator = np.array(out.data, copy=True)
             else:
                 accumulator += out.data
         if truncation and (t + 1) % truncation == 0 and t + 1 < len(steps):
@@ -141,7 +149,7 @@ def run_temporal(
     if readout == "membrane_last":
         if grad_mode:
             return out
-        return graph_free(np.array(out.data, dtype=np.float64, copy=True))
+        return graph_free(np.array(out.data, copy=True))
     if readout == "spike_count":
         return total if grad_mode else graph_free(accumulator)
     # membrane_mean / spike_rate

@@ -13,6 +13,10 @@ this environment we implement the required machinery from scratch:
   hand-written backward passes (the hot path of every experiment).
 * :mod:`repro.tensor.gradcheck` — finite-difference gradient checking used by
   the test-suite to validate every primitive.
+* :mod:`repro.tensor.sparse` — event-driven sparse inference: spike-event
+  lists, per-shape GEMM certification and the gather/scatter kernels.
+* :mod:`repro.tensor.tolerance` — the pinned float32-vs-float64 tolerance
+  contract for the dtype-parametrised substrate.
 
 Only vectorised NumPy is used in the hot paths (see the HPC guide: avoid
 Python-level loops over array elements, prefer views over copies, use in-place
@@ -21,6 +25,20 @@ accumulation for gradients).
 
 from repro.tensor.tensor import Tensor, graph_free, no_grad, is_grad_enabled
 from repro.tensor.workspace import WorkspacePool, clear_workspaces
+from repro.tensor.sparse import (
+    SPARSE_CROSSOVER,
+    reset_sparse_counters,
+    sparse_counters,
+    sparse_crossover,
+    sparse_enabled,
+    sparse_inference,
+)
+from repro.tensor.tolerance import (
+    FLOAT32_SAFETY,
+    assert_float32_contract,
+    float32_tolerance,
+    float32_within_contract,
+)
 from repro.tensor import ops
 from repro.tensor.ops import (
     add,
@@ -63,6 +81,16 @@ __all__ = [
     "is_grad_enabled",
     "WorkspacePool",
     "clear_workspaces",
+    "SPARSE_CROSSOVER",
+    "sparse_inference",
+    "sparse_enabled",
+    "sparse_crossover",
+    "sparse_counters",
+    "reset_sparse_counters",
+    "FLOAT32_SAFETY",
+    "float32_tolerance",
+    "float32_within_contract",
+    "assert_float32_contract",
     "ops",
     "add",
     "broadcast_to",

@@ -32,6 +32,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from repro.tensor.sparse import conv_dispatch, sparse_conv2d
 from repro.tensor.tensor import Tensor, ensure_tensor, graph_free, is_grad_enabled
 from repro.tensor.workspace import workspace
 
@@ -225,6 +226,16 @@ def conv2d(
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     if not requires:
         bias_data = bias.data if bias is not None else None
+        # event-driven kernel when the input carries a spike-event list and
+        # the geometry is certified (see repro.tensor.sparse); bit-identical
+        # to the dense kernel below, just never materialising the im2col
+        events = conv_dispatch(x, weight, bias, groups, out_h, out_w)
+        if events is not None:
+            return graph_free(
+                sparse_conv2d(
+                    x.shape, weight.data, bias_data, events, sh, sw, ph, pw, out_h, out_w
+                )
+            )
         return graph_free(
             _conv2d_infer(x.data, weight.data, bias_data, groups, sh, sw, ph, pw, out_h, out_w)
         )

@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor.sparse import matmul_dispatch, sparse_matmul
 from repro.tensor.tensor import (
     Tensor,
     _as_array,
@@ -56,13 +57,29 @@ def _tracked(a: Tensor, b: Optional[Tensor] = None) -> bool:
     return a.requires_grad or b.requires_grad
 
 
+def _ensure_pair(a, b) -> Tuple[Tensor, Tensor]:
+    """:func:`ensure_tensor` for binary-op operands, dtype-aware for scalars.
+
+    A bare Python scalar wrapped by :func:`ensure_tensor` becomes a float64
+    0-d array, which under NEP 50 promotion would silently upcast a float32
+    tensor operand to float64.  Scalars therefore adopt the tensor operand's
+    dtype, keeping the substrate's dtype parametrisation end to end.  (Bools
+    are excluded: ``True * x`` should keep its established semantics.)
+    """
+    if isinstance(a, Tensor) and not isinstance(b, Tensor) and type(b) in (int, float):
+        return a, graph_free(np.asarray(b, dtype=a.data.dtype))
+    if isinstance(b, Tensor) and not isinstance(a, Tensor) and type(a) in (int, float):
+        return graph_free(np.asarray(a, dtype=b.data.dtype)), b
+    return ensure_tensor(a), ensure_tensor(b)
+
+
 # ---------------------------------------------------------------------------
 # arithmetic
 # ---------------------------------------------------------------------------
 
 def add(a, b) -> Tensor:
     """Elementwise/broadcasted addition."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = a.data + b.data
     if not _tracked(a, b):
         return graph_free(data)
@@ -81,7 +98,7 @@ def add(a, b) -> Tensor:
 
 def sub(a, b) -> Tensor:
     """Elementwise/broadcasted subtraction ``a - b``."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = a.data - b.data
     if not _tracked(a, b):
         return graph_free(data)
@@ -100,7 +117,7 @@ def sub(a, b) -> Tensor:
 
 def mul(a, b) -> Tensor:
     """Elementwise/broadcasted multiplication."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = a.data * b.data
     if not _tracked(a, b):
         return graph_free(data)
@@ -119,7 +136,7 @@ def mul(a, b) -> Tensor:
 
 def div(a, b) -> Tensor:
     """Elementwise/broadcasted division ``a / b``."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = a.data / b.data
     if not _tracked(a, b):
         return graph_free(data)
@@ -171,11 +188,20 @@ def power(a, exponent: float) -> Tensor:
 
 
 def matmul(a, b) -> Tensor:
-    """Matrix product supporting 2-D weight matrices and batched inputs."""
+    """Matrix product supporting 2-D weight matrices and batched inputs.
+
+    On the graph-free path, a 2-D left operand carrying a spike-event list
+    (attached by a trusted producer under :func:`repro.tensor.sparse.
+    sparse_inference`) is served by the event-driven gather/scatter kernel —
+    bit-identical to the dense GEMM for certified shapes — instead of BLAS.
+    """
     a, b = ensure_tensor(a), ensure_tensor(b)
-    data = a.data @ b.data
     if not _tracked(a, b):
-        return graph_free(data)
+        events = matmul_dispatch(a, b)
+        if events is not None:
+            return graph_free(sparse_matmul(a.data.shape, b.data, events))
+        return graph_free(a.data @ b.data)
+    data = a.data @ b.data
 
     def backward(out: Tensor):
         def _backward() -> None:
@@ -306,7 +332,7 @@ def clip(a, low: float, high: float) -> Tensor:
 
 def maximum(a, b) -> Tensor:
     """Elementwise maximum; gradient routed to the winning input (ties split)."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = np.maximum(a.data, b.data)
     if not _tracked(a, b):
         return graph_free(data)
@@ -327,7 +353,7 @@ def maximum(a, b) -> Tensor:
 
 def minimum(a, b) -> Tensor:
     """Elementwise minimum; gradient routed to the winning input (ties split)."""
-    a, b = ensure_tensor(a), ensure_tensor(b)
+    a, b = _ensure_pair(a, b)
     data = np.minimum(a.data, b.data)
     if not _tracked(a, b):
         return graph_free(data)
@@ -457,7 +483,12 @@ def reshape(a, shape: Sequence[int]) -> Tensor:
     a = ensure_tensor(a)
     data = a.data.reshape(shape)
     if not _tracked(a):
-        return graph_free(data)
+        out = graph_free(data)
+        # flat C-order event indices are invariant under reshape, so a spike
+        # tensor stays sparse through Flatten -> Linear
+        if a._events is not None:
+            out._events = a._events
+        return out
 
     def backward(out: Tensor):
         def _backward() -> None:

@@ -1,0 +1,348 @@
+"""Event-driven sparse inference: dispatch state, certification and kernels.
+
+The paper's entire economy is low-firing-rate networks, yet the dense fast
+path pays full conv/GEMM price for every silent neuron at every time step.
+This module adds the **event-driven mode**: trusted producers (the fused
+neuron step, the temporal runner's encoder loop) attach a flat index list of
+the nonzero entries — the *events* — to a binary spike tensor whenever its
+measured firing rate is at or below a crossover threshold, and the graph-free
+conv/matmul kernels consume that list with a gather/scatter kernel instead of
+the dense im2col GEMM.
+
+Bit-equality contract
+---------------------
+
+The sparse path must be **bit-identical** to the dense fast path (pinned by
+``tests/test_sparse_inference.py``).  Three facts make that achievable
+without ever computing the dense result:
+
+1. *binary inputs make products exact* — every contribution is ``w * 1`` or
+   ``w * 0``, so FMA-versus-mul/add rounding differences vanish and skipping
+   exactly-zero terms leaves every partial sum unchanged;
+2. *event order is already reduction order* — ``np.flatnonzero`` enumerates
+   events in C order ``(n, c, y, x)``; for any fixed output position the
+   contributing events are visited in ascending ``(c, u, v)``, which is
+   exactly the ascending-``k`` order the dense GEMM reduces over, so no sort
+   is needed (each event touches a given output through at most one kernel
+   offset, and different batch items never share outputs);
+3. *sequential accumulation is a per-shape GEMM property* — BLAS kernels for
+   some shapes split the ``k`` loop over multiple accumulators (observed for
+   wide-``k``/narrow-output GEMMs), in which case no term-skipping scheme can
+   reproduce them bitwise.  :func:`gemm_accumulates_sequentially` probes the
+   platform GEMM once per geometry with a rounding-sensitive input and caches
+   the verdict; the sparse kernels are dispatched only for certified shapes.
+
+Dispatch therefore requires *all* of: sparse mode enabled
+(:func:`sparse_inference`), float64 data (the float32 GEMM is never
+sequential here, and ``np.add.at`` accumulates float32 through a float64
+cast), events attached by a trusted producer certifying binariness,
+``groups == 1``, and a certified GEMM shape.  Anything else falls back to the
+dense fast path; both outcomes are tallied in thread-local
+``sparse_steps``/``dense_steps`` counters (:func:`sparse_counters`) so tests
+can pin which path a workload actually took.
+
+Aliasing: event lists attached to returned tensors and every array returned
+by the kernels here are freshly allocated — never workspace scratch — so the
+workspace aliasing contract (see :mod:`repro.tensor.workspace`) is preserved.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: default firing-rate threshold at or below which producers attach event
+#: lists.  The pure-NumPy scatter costs ~10 ns per (event x kernel-offset)
+#: entry while the dense GEMM runs at BLAS speed, so the sparse kernel only
+#: wins at genuinely low rates; 0.03 is the measured break-even region for
+#: the cache-resident feature-map sizes the experiments use (see
+#: ``benchmarks/bench_substrate.py`` and ``docs/benchmarks.md``).
+SPARSE_CROSSOVER = 0.03
+
+_F64 = np.dtype(np.float64)
+
+
+class _SparseState(threading.local):
+    """Per-thread dispatch mode, crossover, counters and probe cache."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.crossover = SPARSE_CROSSOVER
+        self.sparse_steps = 0
+        self.dense_steps = 0
+        self.gemm_probe_cache: Dict[Tuple[int, int, int], bool] = {}
+
+
+_STATE = _SparseState()
+
+
+@contextlib.contextmanager
+def sparse_inference(crossover: Optional[float] = None):
+    """Enable event-driven dispatch inside the ``with`` block.
+
+    Producers attach event lists to binary tensors whose firing rate is at or
+    below ``crossover`` (default :data:`SPARSE_CROSSOVER`); the conv/matmul
+    fast paths then route per-layer, per-step between the sparse and dense
+    kernels.  Nested uses restore the previous mode/threshold on exit.
+    """
+    if crossover is not None and not 0.0 <= crossover <= 1.0:
+        raise ValueError(f"crossover must be in [0, 1], got {crossover}")
+    previous = (_STATE.enabled, _STATE.crossover)
+    _STATE.enabled = True
+    if crossover is not None:
+        _STATE.crossover = float(crossover)
+    try:
+        yield
+    finally:
+        _STATE.enabled, _STATE.crossover = previous
+
+
+def sparse_enabled() -> bool:
+    """Whether event-driven dispatch is active on this thread."""
+    return _STATE.enabled
+
+
+def sparse_crossover() -> float:
+    """The active firing-rate crossover threshold."""
+    return _STATE.crossover
+
+
+def sparse_counters() -> Dict[str, int]:
+    """Per-thread dispatch tallies since the last reset.
+
+    ``sparse_steps`` counts conv/matmul fast-path calls served by the
+    event-driven kernels, ``dense_steps`` those that fell back to the dense
+    kernels while sparse mode was active.  With sparse mode off both stay 0.
+    """
+    return {"sparse_steps": _STATE.sparse_steps, "dense_steps": _STATE.dense_steps}
+
+
+def reset_sparse_counters() -> None:
+    """Zero the per-thread dispatch tallies."""
+    _STATE.sparse_steps = 0
+    _STATE.dense_steps = 0
+
+
+# ---------------------------------------------------------------------------
+# per-shape GEMM certification
+# ---------------------------------------------------------------------------
+
+def gemm_accumulates_sequentially(rows: int, k: int, cols: int) -> bool:
+    """Whether the platform's float64 GEMM of shape ``(rows, k) @ (k, cols)``
+    reduces every output element with one sequential accumulator over
+    ascending ``k`` — the property the sparse kernels' bit-equality rests on.
+
+    Probes with a rounding-sensitive input: the first ``k`` term is 1 and all
+    later terms are ``2**-53`` (half an ulp of 1), so a single sequential
+    accumulator rounds every later term away and yields exactly 1, while any
+    multi-accumulator split or reordering lets the small terms combine and
+    exceed 1.  The products are exact (multiples of 1), so the probe is
+    insensitive to FMA and only detects accumulation structure, which for a
+    BLAS kernel depends on the shape, not the values.  Verdicts are cached
+    per thread per shape.
+    """
+    key = (int(rows), int(k), int(cols))
+    cached = _STATE.gemm_probe_cache.get(key)
+    if cached is None:
+        left = np.ones((key[0], key[1]))
+        right = np.empty((key[1], key[2]))
+        right[0, :] = 1.0
+        if key[1] > 1:
+            right[1:, :] = 2.0 ** -53
+        cached = bool(np.all((left @ right) == 1.0))
+        _STATE.gemm_probe_cache[key] = cached
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# producer helpers (attach events to certified-binary tensors)
+# ---------------------------------------------------------------------------
+
+def attach_events(tensor, events: np.ndarray):
+    """Attach a flat C-order event-index list to ``tensor`` and return it.
+
+    Trusted-producer API: the caller certifies that ``tensor.data`` is a 0/1
+    array whose nonzero positions (flattened in C order) are exactly
+    ``events``, and that ``events`` is an owning array (never a view of
+    pooled workspace scratch — the consumer may read it on a later step).
+    """
+    tensor._events = events
+    return tensor
+
+
+def events_of(tensor) -> Optional[np.ndarray]:
+    """The event list attached to ``tensor``, or ``None``."""
+    return tensor._events
+
+
+def spike_events(spike_bool: np.ndarray, dtype) -> Optional[np.ndarray]:
+    """Producer hook for the fused neuron step.
+
+    Given the boolean spike buffer of the step just computed, return a fresh
+    flat event-index list when sparse mode is active, the spike dtype is
+    float64 and the firing rate is at or below the crossover; ``None``
+    otherwise (the emitted tensor then stays a plain dense spike tensor).
+    """
+    state = _STATE
+    if not state.enabled or np.dtype(dtype) != _F64:
+        return None
+    if np.count_nonzero(spike_bool) > state.crossover * spike_bool.size:
+        return None
+    return np.flatnonzero(spike_bool)
+
+
+def annotate_frame(tensor) -> None:
+    """Attach events to an encoder frame if it is binary and sparse enough.
+
+    Encoder outputs are not certified binary by construction (an event-frame
+    dataset may hold counts, a constant-current encoder holds analog values),
+    so beyond the rate check this verifies that every nonzero entry equals
+    1.0 before attaching — non-binary frames stay dense, where skipping terms
+    would not be exact.  Called by the temporal runner once per step under
+    ``no_grad``; a no-op when sparse mode is off.
+    """
+    state = _STATE
+    if not state.enabled:
+        return
+    data = tensor.data
+    if data.dtype != _F64 or tensor._events is not None:
+        return
+    if np.count_nonzero(data) > state.crossover * data.size:
+        return
+    events = np.flatnonzero(data)
+    if not np.all(data.reshape(-1)[events] == 1.0):
+        return
+    tensor._events = events
+
+
+# ---------------------------------------------------------------------------
+# consumer dispatch
+# ---------------------------------------------------------------------------
+
+def conv_dispatch(x, weight, bias, groups: int, out_h: int, out_w: int) -> Optional[np.ndarray]:
+    """Return the event list when the sparse conv kernel applies, else ``None``.
+
+    Requires sparse mode, attached events, ``groups == 1``, float64
+    throughout and a certified-sequential GEMM geometry (the shape the dense
+    kernel would run).  Tallies the decision in the dispatch counters.
+    """
+    state = _STATE
+    if not state.enabled:
+        return None
+    events = x._events
+    c_out, c_in_per_group, kh, kw = weight.data.shape
+    if (
+        events is None
+        or groups != 1
+        or x.data.dtype != _F64
+        or weight.data.dtype != _F64
+        or (bias is not None and bias.data.dtype != _F64)
+        or not gemm_accumulates_sequentially(
+            c_out, c_in_per_group * kh * kw, x.data.shape[0] * out_h * out_w
+        )
+    ):
+        state.dense_steps += 1
+        return None
+    state.sparse_steps += 1
+    return events
+
+
+def matmul_dispatch(a, b) -> Optional[np.ndarray]:
+    """Return the event list when the sparse matmul kernel applies, else ``None``."""
+    state = _STATE
+    if not state.enabled:
+        return None
+    events = a._events
+    if (
+        events is None
+        or a.data.ndim != 2
+        or b.data.ndim != 2
+        or a.data.dtype != _F64
+        or b.data.dtype != _F64
+        or not gemm_accumulates_sequentially(a.data.shape[0], a.data.shape[1], b.data.shape[1])
+    ):
+        state.dense_steps += 1
+        return None
+    state.sparse_steps += 1
+    return events
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def sparse_conv2d(
+    x_shape: Tuple[int, int, int, int],
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    events: np.ndarray,
+    sh: int,
+    sw: int,
+    ph: int,
+    pw: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Event-driven convolution forward (``groups == 1``).
+
+    Never touches the input array: each event (a nonzero = 1.0 input entry)
+    is expanded over the ``kh * kw`` kernel offsets, invalid (out-of-bounds /
+    off-stride) lanes are masked, the corresponding weight rows are gathered
+    and scatter-added into a freshly allocated NCHW output.  ``np.add.at``
+    accumulates strictly in lane order, which per output element is ascending
+    ``k`` (see the module docstring), so for a certified GEMM shape the
+    result is bit-identical to the dense kernel.  The bias is added after all
+    terms, matching the dense kernel's op order.
+    """
+    n, c_in, h, w = x_shape
+    c_out, _, kh, kw = weight.shape
+    u = np.repeat(np.arange(kh), kw)
+    v = np.tile(np.arange(kw), kh)
+    e_x = events % w
+    rest = events // w
+    e_y = rest % h
+    rest = rest // h
+    e_c = rest % c_in
+    e_n = rest // c_in
+    # candidate output positions per (event, offset) lane; stride-1 keeps the
+    # division out of the hot path
+    oy = e_y[:, None] + (ph - u)[None, :]
+    ox = e_x[:, None] + (pw - v)[None, :]
+    if sh != 1 or sw != 1:
+        valid = (oy % sh == 0) & (ox % sw == 0)
+        oy //= sh
+        ox //= sw
+        valid &= (oy >= 0) & (oy < out_h) & (ox >= 0) & (ox < out_w)
+    else:
+        valid = (oy >= 0) & (oy < out_h) & (ox >= 0) & (ox < out_w)
+    k = e_c[:, None] * (kh * kw) + (u * kw + v)[None, :]
+    hw = out_h * out_w
+    m = (e_n[:, None] * c_out) * hw + oy * out_w + ox
+    lanes = np.flatnonzero(valid.reshape(-1))
+    k_all = k.reshape(-1)[lanes]
+    m_all = m.reshape(-1)[lanes]
+    w_rows = weight.reshape(c_out, c_in * kh * kw).T
+    vals = w_rows[k_all]  # (lanes, C_out) gather, freshly allocated
+    fidx = (m_all[:, None] + (np.arange(c_out) * hw)[None, :]).reshape(-1)
+    out = np.zeros((n, c_out, out_h, out_w), dtype=weight.dtype)
+    np.add.at(out.reshape(-1), fidx, vals.reshape(-1))
+    if bias is not None:
+        out += bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+def sparse_matmul(a_shape: Tuple[int, int], b: np.ndarray, events: np.ndarray) -> np.ndarray:
+    """Event-driven ``a @ b`` for a 2-D binary ``a`` given its event list.
+
+    Gathers the rows of ``b`` selected by each event's feature index and
+    scatter-adds them into the event's batch row.  Events arrive in ascending
+    ``(row, feature)`` order, so every output element accumulates over
+    ascending ``k`` — bit-identical to a certified-sequential GEMM.
+    """
+    n, f = a_shape
+    out = np.zeros((n, b.shape[1]), dtype=b.dtype)
+    np.add.at(out, events // f, b[events % f])
+    return out

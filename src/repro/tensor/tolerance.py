@@ -1,0 +1,84 @@
+"""The float32 tolerance contract.
+
+Bit-equality between the float32 substrate and the float64 reference is
+impossible — every rounding step differs — so the contract *is* the spec:
+a float32 computation whose longest accumulation chain has length ``n``
+must agree with the float64 reference to within
+
+    ``FLOAT32_SAFETY * eps32 * n * (scale + |reference|)``
+
+where ``scale = max(1, max|reference|)`` guards elements near zero (their
+absolute error is set by the magnitude of the intermediate terms that
+cancelled, not by their own tiny magnitude).  The linear-in-``n`` growth is
+the standard forward error bound for sequential summation (gamma_n ≈ n*eps
+for n*eps << 1); :data:`FLOAT32_SAFETY` absorbs the difference between that
+idealised model and real kernels (pairwise BLAS accumulation usually does
+*better*; fused surrogate/neuron chains can do slightly worse per step).
+
+Tests pin the contract via :func:`assert_float32_contract`; the docs
+(``docs/architecture.md``) state it.  Tightening ``FLOAT32_SAFETY`` is a
+contract change and must update both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: multiplier absorbing non-ideal accumulation order and fused op chains;
+#: part of the pinned contract — change only together with docs and tests.
+FLOAT32_SAFETY = 8.0
+
+#: machine epsilon of float32 (2**-23)
+FLOAT32_EPS = float(np.finfo(np.float32).eps)
+
+
+def float32_tolerance(accumulation_length: int) -> float:
+    """Relative tolerance granted to a float32 chain of ``accumulation_length`` terms."""
+    if accumulation_length < 1:
+        raise ValueError(
+            f"accumulation_length must be >= 1, got {accumulation_length}"
+        )
+    return FLOAT32_SAFETY * FLOAT32_EPS * float(accumulation_length)
+
+
+def float32_within_contract(
+    actual: np.ndarray, reference: np.ndarray, accumulation_length: int
+) -> bool:
+    """Whether ``actual`` (float32 result) meets the contract against ``reference``.
+
+    ``reference`` is the float64 result of the same computation;
+    ``accumulation_length`` is the longest accumulation chain feeding any
+    output element (e.g. ``c_in * kh * kw + 1`` for a biased conv).
+    """
+    actual64 = np.asarray(actual, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    tol = float32_tolerance(accumulation_length)
+    scale = max(1.0, float(np.max(np.abs(reference))) if reference.size else 0.0)
+    bound = tol * (scale + np.abs(reference))
+    return bool(np.all(np.abs(actual64 - reference) <= bound))
+
+
+def assert_float32_contract(
+    actual: np.ndarray,
+    reference: np.ndarray,
+    accumulation_length: int,
+    context: str = "",
+) -> None:
+    """Assert the contract, reporting the worst violation when it fails."""
+    actual64 = np.asarray(actual, dtype=np.float64)
+    reference64 = np.asarray(reference, dtype=np.float64)
+    tol = float32_tolerance(accumulation_length)
+    scale = max(1.0, float(np.max(np.abs(reference64))) if reference64.size else 0.0)
+    bound = tol * (scale + np.abs(reference64))
+    deviation = np.abs(actual64 - reference64)
+    if np.all(deviation <= bound):
+        return
+    excess = deviation - bound
+    worst = int(np.argmax(excess))
+    label = f" [{context}]" if context else ""
+    raise AssertionError(
+        f"float32 contract violated{label}: n={accumulation_length}, "
+        f"tol={tol:.3e}, worst deviation {deviation.reshape(-1)[worst]:.3e} "
+        f"exceeds bound {bound.reshape(-1)[worst]:.3e} at flat index {worst} "
+        f"(reference {reference64.reshape(-1)[worst]:.6e})"
+    )

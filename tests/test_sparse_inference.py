@@ -1,0 +1,386 @@
+"""Differential tests of the event-driven sparse inference mode (PR 8).
+
+The sparse path's contract is **bit-equality with the dense fast path**: under
+:func:`repro.tensor.sparse.sparse_inference` every conv/matmul either runs the
+event-driven gather/scatter kernel (certified shapes, binary inputs) or falls
+back to the dense kernel — so the observable output of any evaluation must be
+bit-identical with the mode on or off.  These tests drive both paths over
+
+* the raw kernels (every geometry class: stride, padding, empty event lists),
+* the per-shape GEMM certification probe (self-validating against the real
+  GEMM on random shapes),
+* the dispatch heuristic (crossover threshold, counters, fallback reasons),
+* whole temporal evaluations, property-based over architectures x neuron
+  models x firing-rate regimes straddling the crossover,
+* the latency objective, which must work in both modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synthetic_dvs import DVSEventConfig, make_synthetic_cifar10_dvs
+from repro.models import get_template
+from repro.nn import Conv2d, Flatten, Linear, Sequential
+from repro.snn import ALIFNeuron, IFNeuron, LeakyIntegrator, LIFNeuron, SynapticNeuron, TemporalRunner
+from repro.snn.temporal import run_temporal
+from repro.tensor import (
+    SPARSE_CROSSOVER,
+    Tensor,
+    no_grad,
+    ops,
+    reset_sparse_counters,
+    sparse_counters,
+    sparse_crossover,
+    sparse_enabled,
+    sparse_inference,
+)
+from repro.tensor.conv import conv2d
+from repro.tensor.sparse import (
+    annotate_frame,
+    gemm_accumulates_sequentially,
+    sparse_conv2d,
+    sparse_matmul,
+    spike_events,
+)
+from repro.training.evaluation import measure_latency_ms
+
+# keep hypothesis fast and deterministic for CI (same policy as test_property_based)
+FAST = settings(max_examples=20, deadline=None)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_counters():
+    reset_sparse_counters()
+    yield
+    reset_sparse_counters()
+
+
+def _binary(rng, shape, rate):
+    return (rng.random(shape) < rate).astype(np.float64)
+
+
+def _with_events(data):
+    t = Tensor(data)
+    t._events = np.flatnonzero(data)
+    return t
+
+
+# ---------------------------------------------------------------------------
+# kernel-level bit-equality
+# ---------------------------------------------------------------------------
+
+class TestSparseConvKernel:
+    GEOMETRIES = [
+        # (c_in, c_out, kernel, stride, padding, bias)
+        (16, 16, 3, 1, 1, True),
+        (8, 12, 3, 1, 0, False),
+        (4, 16, 5, 1, 2, True),
+        (16, 16, 3, 2, 1, True),
+        (8, 8, 2, 2, 0, False),
+        (4, 8, 3, 2, 2, True),
+    ]
+
+    @pytest.mark.parametrize("c_in,c_out,k,stride,padding,bias", GEOMETRIES)
+    @pytest.mark.parametrize("rate", [0.0, 0.01, 0.05, 0.3])
+    def test_bit_identical_to_dense_fast_path(self, rng, c_in, c_out, k, stride, padding, bias, rate):
+        x = _binary(rng, (4, c_in, 16, 16), rate)
+        w = Tensor(rng.standard_normal((c_out, c_in, k, k)))
+        b = Tensor(rng.standard_normal(c_out)) if bias else None
+        with no_grad():
+            dense = conv2d(Tensor(x), w, b, stride=stride, padding=padding).data.copy()
+            with sparse_inference(crossover=1.0):  # force eligibility at any rate
+                sparse = conv2d(_with_events(x), w, b, stride=stride, padding=padding).data
+        counters = sparse_counters()
+        assert counters["sparse_steps"] + counters["dense_steps"] == 1
+        assert np.array_equal(dense, sparse)
+
+    def test_empty_event_list_gives_bias_only_output(self, rng):
+        x = np.zeros((2, 8, 16, 16))
+        w = rng.standard_normal((8, 8, 3, 3))
+        b = rng.standard_normal(8)
+        out = sparse_conv2d(x.shape, w, b, np.flatnonzero(x), 1, 1, 1, 1, 16, 16)
+        assert np.array_equal(out, np.broadcast_to(b.reshape(1, 8, 1, 1), out.shape))
+
+    def test_kernel_never_reads_the_input_array(self, rng):
+        """The kernel reconstructs everything from the event list — feeding it
+        a poisoned input array proves the dense data is never touched."""
+        x = _binary(rng, (2, 8, 16, 16), 0.02)
+        w = rng.standard_normal((8, 8, 3, 3))
+        events = np.flatnonzero(x)
+        expected = sparse_conv2d(x.shape, w, None, events, 1, 1, 1, 1, 16, 16)
+        poisoned = sparse_conv2d(
+            (np.nan * np.ones_like(x)).shape, w, None, events, 1, 1, 1, 1, 16, 16
+        )
+        assert np.array_equal(expected, poisoned)
+
+
+class TestSparseMatmulKernel:
+    @pytest.mark.parametrize("rate", [0.0, 0.02, 0.2])
+    def test_bit_identical_when_certified(self, rng, rate):
+        a = _binary(rng, (16, 128), rate)
+        b = rng.standard_normal((128, 128))
+        assert gemm_accumulates_sequentially(16, 128, 128)
+        assert np.array_equal(sparse_matmul(a.shape, b, np.flatnonzero(a)), a @ b)
+
+    def test_dispatch_output_always_matches_dense(self, rng):
+        """Through ops.matmul the result equals plain GEMM whether the sparse
+        kernel fired or the dispatch fell back (non-certified shape)."""
+        for n, f, m in [(16, 128, 128), (8, 512, 10), (32, 64, 10)]:
+            a = _binary(rng, (n, f), 0.02)
+            b = rng.standard_normal((f, m))
+            with no_grad(), sparse_inference():
+                out = ops.matmul(_with_events(a), Tensor(b)).data
+            assert np.array_equal(out, a @ b), (n, f, m)
+
+
+class TestGemmProbe:
+    def test_probe_verdicts_are_self_consistent(self, rng):
+        """Wherever the probe certifies a shape, the scatter kernel must agree
+        with the platform GEMM bitwise on random binary data — the probe is
+        the load-bearing assumption of the whole sparse mode."""
+        shapes = [(16, 72, 2048), (16, 128, 128), (8, 512, 10), (32, 4096, 10), (2, 9, 64)]
+        for _ in range(10):
+            shapes.append(tuple(int(v) for v in rng.integers(1, 200, size=3)))
+        for rows, k, cols in shapes:
+            if not gemm_accumulates_sequentially(rows, k, cols):
+                continue
+            a = _binary(rng, (rows, k), 0.3)
+            b = rng.standard_normal((k, cols))
+            assert np.array_equal(sparse_matmul(a.shape, b, np.flatnonzero(a)), a @ b), (rows, k, cols)
+
+    def test_probe_is_cached(self):
+        first = gemm_accumulates_sequentially(16, 72, 2048)
+        assert gemm_accumulates_sequentially(16, 72, 2048) is first
+
+
+# ---------------------------------------------------------------------------
+# dispatch heuristic: crossover threshold, producers, fallbacks
+# ---------------------------------------------------------------------------
+
+class TestCrossoverDispatch:
+    def test_mode_is_off_by_default(self, rng):
+        assert not sparse_enabled()
+        spikes = _binary(rng, (4, 8, 16, 16), 0.01).astype(bool)
+        assert spike_events(spikes, np.float64) is None
+        with no_grad():
+            conv2d(Tensor(_binary(rng, (2, 8, 16, 16), 0.01)), Tensor(rng.standard_normal((8, 8, 3, 3))))
+        assert sparse_counters() == {"sparse_steps": 0, "dense_steps": 0}
+
+    def test_context_manager_restores_state(self):
+        with sparse_inference(crossover=0.1):
+            assert sparse_enabled()
+            assert sparse_crossover() == 0.1
+            with sparse_inference(crossover=0.5):
+                assert sparse_crossover() == 0.5
+            assert sparse_crossover() == 0.1
+        assert not sparse_enabled()
+        assert sparse_crossover() == SPARSE_CROSSOVER
+        with pytest.raises(ValueError):
+            with sparse_inference(crossover=1.5):
+                pass
+
+    def test_spike_events_straddle_the_crossover(self):
+        """Exactly at the threshold is sparse; one spike above is dense."""
+        size = 1000
+        crossover = 0.05
+        at = np.zeros(size, dtype=bool)
+        at[: int(crossover * size)] = True
+        above = np.zeros(size, dtype=bool)
+        above[: int(crossover * size) + 1] = True
+        with sparse_inference(crossover=crossover):
+            events = spike_events(at, np.float64)
+            assert events is not None and np.array_equal(events, np.flatnonzero(at))
+            assert spike_events(above, np.float64) is None
+            assert spike_events(at, np.float32) is None  # float64-only path
+
+    def test_conv_dispatch_chooses_path_by_rate(self, rng):
+        w = Tensor(rng.standard_normal((8, 8, 3, 3)))
+        low = _binary(rng, (2, 8, 16, 16), 0.01)
+        high = _binary(rng, (2, 8, 16, 16), 0.5)
+        with no_grad(), sparse_inference():
+            conv2d(_with_events(low), w, padding=1)
+            assert sparse_counters()["sparse_steps"] == 1
+            conv2d(Tensor(high), w, padding=1)  # no events attached -> dense
+        assert sparse_counters() == {"sparse_steps": 1, "dense_steps": 1}
+
+    def test_fallbacks_are_dense_and_tallied(self, rng):
+        x = _binary(rng, (2, 8, 16, 16), 0.01)
+        with no_grad(), sparse_inference():
+            # groups > 1 is unsupported by the sparse kernel
+            wg = Tensor(rng.standard_normal((8, 4, 3, 3)))
+            dense_g = conv2d(Tensor(x), wg, padding=1, groups=2).data.copy()
+            reset_sparse_counters()
+            sparse_g = conv2d(_with_events(x), wg, padding=1, groups=2).data
+            assert sparse_counters() == {"sparse_steps": 0, "dense_steps": 1}
+            assert np.array_equal(dense_g, sparse_g)
+            # float32 operands are dense-only (float32 GEMMs are never
+            # certified; the tolerance contract covers that substrate)
+            x32 = x.astype(np.float32)
+            w32 = Tensor(rng.standard_normal((8, 8, 3, 3)).astype(np.float32))
+            reset_sparse_counters()
+            conv2d(_with_events(x32), w32, padding=1)
+            assert sparse_counters() == {"sparse_steps": 0, "dense_steps": 1}
+
+    def test_annotate_frame_requires_binary_values(self):
+        with sparse_inference():
+            binary = Tensor(np.zeros((2, 2, 16, 16)))
+            binary.data[0, 0, 0, 0] = 1.0
+            annotate_frame(binary)
+            assert binary._events is not None
+            analog = Tensor(np.zeros((2, 2, 16, 16)))
+            analog.data[0, 0, 0, 0] = 0.5  # sparse but not binary
+            annotate_frame(analog)
+            assert analog._events is None
+
+    def test_reshape_propagates_events_on_the_fast_path(self, rng):
+        a = _binary(rng, (2, 8, 4, 4), 0.05)
+        t = _with_events(a)
+        with no_grad():
+            flat = ops.reshape(t, (2, 128))
+        assert flat._events is t._events
+        grad_in = Tensor(a, requires_grad=True)
+        grad_in._events = np.flatnonzero(a)
+        tracked = ops.reshape(grad_in, (2, 128))
+        assert tracked._events is None  # graph path never carries events
+
+    def test_synthetic_dvs_workload_takes_the_sparse_path(self):
+        """Acceptance: the dispatch heuristic actually fires on low-activity
+        event data from data/synthetic_dvs.py, not just hand-built tensors."""
+        splits = make_synthetic_cifar10_dvs(
+            DVSEventConfig(
+                num_samples=12,
+                image_size=16,
+                num_steps=6,
+                contrast_threshold=0.4,
+                movement_radius=0.8,
+                noise_events_per_step=1,
+            )
+        )
+        batch, _ = splits.train[np.arange(4)]
+        rates = batch.mean(axis=(0, 2, 3, 4))
+        assert 0.0 < rates.max() <= SPARSE_CROSSOVER  # genuinely low-activity frames
+        model = Sequential(
+            Conv2d(2, 8, kernel_size=3, padding=1),
+            LIFNeuron(beta=0.9, threshold=1.0),
+            Flatten(),
+            Linear(8 * 16 * 16, 10),
+            LeakyIntegrator(0.9),
+        )
+        model.eval()
+        with no_grad():
+            dense = run_temporal(model, batch, num_steps=6).data.copy()
+            with sparse_inference():
+                sparse = run_temporal(model, batch, num_steps=6).data
+        counters = sparse_counters()
+        assert counters["sparse_steps"] > 0  # encoder frames reached the conv sparsely
+        assert np.array_equal(dense, sparse)
+
+
+# ---------------------------------------------------------------------------
+# property-based differential suite: architectures x neurons x rates
+# ---------------------------------------------------------------------------
+
+NEURONS = {
+    "lif": lambda: LIFNeuron(beta=0.9, threshold=0.8),
+    "if": lambda: IFNeuron(threshold=0.8),
+    "alif": lambda: ALIFNeuron(beta=0.85, adaptation=0.3, threshold=0.8),
+    "synaptic": lambda: SynapticNeuron(alpha=0.7, beta=0.9, threshold=0.8),
+}
+
+
+def _conv_chain(kind, c_in=2, channels=8, image=16, num_classes=4):
+    """Conv->neuron->conv->neuron->linear chain whose spikes feed convs
+    directly (no BN in between), so internal event lists stay consumable."""
+    return Sequential(
+        Conv2d(c_in, channels, kernel_size=3, padding=1),
+        NEURONS[kind](),
+        Conv2d(channels, channels, kernel_size=3, padding=1),
+        NEURONS[kind](),
+        Flatten(),
+        Linear(channels * image * image, num_classes),
+        LeakyIntegrator(0.9),
+    )
+
+
+class TestPropertyDifferential:
+    @FAST
+    @given(
+        kind=st.sampled_from(sorted(NEURONS)),
+        rate=st.one_of(
+            st.floats(0.001, SPARSE_CROSSOVER),        # below crossover: sparse fires
+            st.floats(SPARSE_CROSSOVER, 0.3),          # above: dense fallback
+        ),
+        steps=st.integers(2, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_conv_chain_sparse_equals_dense_bitwise(self, kind, rate, steps, seed):
+        rng = np.random.default_rng(seed)
+        batch = _binary(rng, (2, steps, 2, 16, 16), rate)
+        from repro.tensor.random import seed_everything
+
+        seed_everything(seed % 1000)
+        model = _conv_chain(kind)
+        model.eval()
+        reset_sparse_counters()
+        with no_grad():
+            dense = run_temporal(model, batch, num_steps=steps).data.copy()
+            with sparse_inference():
+                sparse = run_temporal(model, batch, num_steps=steps).data.copy()
+        assert np.array_equal(dense, sparse)
+
+    @FAST
+    @given(
+        name=st.sampled_from(["single_block", "resnet18"]),
+        rate=st.floats(0.001, 0.1),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_templates_sparse_equals_dense_bitwise(self, name, rate, seed):
+        rng = np.random.default_rng(seed)
+        template = get_template(name, input_channels=2, num_classes=4)
+        model = template.build(spiking=True, rng=0)
+        model.eval()
+        batch = _binary(rng, (2, 3, 2, 16, 16), rate)
+        runner = TemporalRunner(model, num_steps=3)
+        with no_grad():
+            dense = runner(batch).data.copy()
+            with sparse_inference():
+                sparse = runner(batch).data.copy()
+        assert np.array_equal(dense, sparse)
+
+    @FAST
+    @given(rate=st.floats(0.001, 0.03), seed=st.integers(0, 10_000))
+    def test_sparse_mode_fires_below_crossover(self, rate, seed):
+        """Below the crossover the heuristic must actually choose the sparse
+        kernel (not just fall back everywhere and pass trivially)."""
+        rng = np.random.default_rng(seed)
+        batch = _binary(rng, (2, 3, 2, 16, 16), rate)
+        model = _conv_chain("lif")
+        model.eval()
+        reset_sparse_counters()
+        with no_grad(), sparse_inference():
+            run_temporal(model, batch, num_steps=3)
+        assert sparse_counters()["sparse_steps"] > 0
+
+
+# ---------------------------------------------------------------------------
+# latency objective works in both modes
+# ---------------------------------------------------------------------------
+
+class TestLatencyInSparseMode:
+    def test_measure_latency_ms_inside_sparse_mode(self, rng):
+        model = _conv_chain("lif")
+        runner = TemporalRunner(model, num_steps=3)
+        batch = _binary(rng, (2, 3, 2, 16, 16), 0.01)
+        dense_ms = measure_latency_ms(runner, batch, runs=2, warmup=1)
+        reset_sparse_counters()
+        with sparse_inference():
+            sparse_ms = measure_latency_ms(runner, batch, runs=2, warmup=1)
+        assert dense_ms > 0.0 and sparse_ms > 0.0
+        assert sparse_counters()["sparse_steps"] > 0  # timed the sparse path
+        assert model.training  # mode restored in both cases

@@ -8,7 +8,9 @@ substrate hot path regressed.  Two kinds of check:
   dimensionless, so they transfer across machines: the gate fails when a
   ratio drops more than ``--threshold`` (default 30%) below the baseline, or
   below the hard acceptance floors (the inference-mode LIF step and conv2d
-  forward must stay at least 2x faster than the autograd path);
+  forward must stay at least 2x faster than the autograd path, and the
+  event-driven sparse evaluation at firing rate 0.01 at least 2x faster
+  than the dense fast path);
 * **absolute timings** (``*_ms`` / ``ms``) are hardware-dependent — CI
   runners differ from the baseline machine — so by default they are only
   *reported*; pass ``--absolute`` to gate them too (useful when baseline and
@@ -28,11 +30,14 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-#: hard floors pinned by the PR-5 acceptance criteria: these hot paths must
-#: stay at least this much faster on the inference path than on autograd
+#: hard floors pinned by acceptance criteria: the PR-5 inference fast paths
+#: must stay at least 2x faster than autograd, and the PR-8 event-driven
+#: sparse evaluation must stay at least 2x faster than the dense fast path
+#: in the deep-sparse regime (firing rate 0.01)
 MIN_SPEEDUPS: Dict[str, float] = {
     "conv2d_forward": 2.0,
     "lif_step": 2.0,
+    "sparse_eval_rate_0.01": 2.0,
 }
 
 
