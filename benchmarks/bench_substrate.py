@@ -423,6 +423,57 @@ def bench_dtype_eval(repeats: int, num_steps: int = 5) -> Dict[str, float]:
     }
 
 
+def bench_tracing_overhead(repeats: int, num_steps: int = 5) -> Dict[str, float]:
+    """Disabled-tracing overhead of the span instrumentation on the eval path.
+
+    Tracing is off by default, so the only cost the subsystem is allowed to
+    add to a hot path is the price of entering a *disabled* span (the call
+    returns the falsy no-op singleton without touching a clock).  This case
+    times the whole-model evaluation fast path with tracing disabled — the
+    production configuration, already paying every disabled span/ops-span
+    check — then counts how many span sites one such evaluation crosses (a
+    single fully-traced run with op profiling into a throwaway recorder) and
+    microbenches the disabled span entry itself.  The reported
+    ``overhead_ratio`` is measured time over the implied span-free time,
+    gated under 1.02 by ``tools/bench_gate.py`` (``MAX_RATIOS``).
+    """
+    from repro.trace import FlightRecorder, span, tracing
+
+    rng = np.random.default_rng(0)
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    model.eval()
+    runner = TemporalRunner(model, num_steps=num_steps)
+    batch = rng.random((8, 2, 12, 12))
+
+    def evaluate() -> None:
+        with no_grad():
+            runner(batch)
+
+    eval_s = _time(evaluate, repeats)
+
+    recorder = FlightRecorder(capacity=1 << 20)
+    with tracing(recorder=recorder, ops=True):
+        evaluate()
+    span_sites = len(recorder)
+
+    iterations = 20_000
+
+    def disabled_spans() -> None:
+        for _ in range(iterations):
+            with span("bench"):
+                pass
+
+    per_span_s = _time(disabled_spans, max(repeats // 4, 3)) / iterations
+    span_free_s = max(eval_s - span_sites * per_span_s, 1e-12)
+    return {
+        "eval_ms": eval_s * 1e3,
+        "span_sites": float(span_sites),
+        "disabled_span_ns": per_span_s * 1e9,
+        "overhead_ratio": eval_s / span_free_s,
+    }
+
+
 def bench_bptt_step(repeats: int) -> Dict[str, float]:
     """Absolute cost of one BPTT training step (no fast-path variant)."""
     rng = np.random.default_rng(0)
@@ -463,6 +514,12 @@ def format_report(payload: Dict[str, Dict[str, float]]) -> str:
         f"float32 vs float64 eval: {dtype_row['float32_ms']:.3f} ms vs "
         f"{dtype_row['float64_ms']:.3f} ms ({dtype_row['ratio']:.2f}x, contract-checked)"
     )
+    trace_row = payload["tracing_overhead"]
+    lines.append(
+        f"disabled-tracing overhead: {trace_row['overhead_ratio']:.4f}x over "
+        f"{trace_row['span_sites']:.0f} span sites "
+        f"({trace_row['disabled_span_ns']:.0f} ns per disabled span, ceiling 1.02x)"
+    )
     return "\n".join(lines)
 
 
@@ -482,6 +539,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "temporal_eval": bench_temporal_eval(heavy_repeats),
         "bptt_step": bench_bptt_step(heavy_repeats),
         "dtype_eval": bench_dtype_eval(heavy_repeats),
+        "tracing_overhead": bench_tracing_overhead(heavy_repeats),
         "smoke": bool(args.smoke),
     }
     # Sparse-vs-dense at rates straddling the crossover.  Only the deep-sparse

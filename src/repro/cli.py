@@ -9,6 +9,7 @@ Usage (after installing the package)::
     python -m repro.cli pareto  --objectives accuracy,energy --energy-budget 50 --scale smoke
     python -m repro.cli serve   --port 8000 --cache-dir results/cache
     python -m repro.cli cache compact --cache-dir results/cache
+    python -m repro.cli trace   results/pareto.trace.jsonl --chrome results/pareto.chrome.json
     python -m repro.cli lint    -- --list-rules
     python -m repro.cli info
 
@@ -85,6 +86,23 @@ def _add_async_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the whole run to PATH (JSONL, one span per "
+        "line, worker-process spans stitched under their evaluation); analyse it "
+        "afterwards with `repro trace PATH`",
+    )
+    parser.add_argument(
+        "--trace-ops",
+        action="store_true",
+        help="with --trace, also record per-operator substrate spans (op.conv2d, "
+        "op.matmul, op.neuron_step with sparse/dense routing) — voluminous",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -147,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     pareto.add_argument("--iterations", type=int, default=None, help="evaluations after the warm start")
     _add_cache_argument(pareto)
     _add_async_argument(pareto)
+    _add_trace_arguments(pareto)
     _add_common_arguments(pareto)
 
     serve = subparsers.add_parser(
@@ -213,6 +232,29 @@ def build_parser() -> argparse.ArgumentParser:
         "lint_args",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to tools.analyze (prefix with `--` to pass flags)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="analyse a recorded span trace (per-phase breakdown, critical path, slowest evaluations)",
+        description="Reads a trace recorded with `repro pareto --trace PATH` (or a "
+        "server job's traces/<job_id>.jsonl) and prints the per-phase time "
+        "breakdown, the critical path and the slowest evaluations; --chrome "
+        "exports the spans as Chrome trace-event JSON for chrome://tracing or "
+        "ui.perfetto.dev. See docs/observability.md.",
+    )
+    trace.add_argument(
+        "trace_file",
+        help="trace to analyse: span JSONL (one span per line) or a JSON span array",
+    )
+    trace.add_argument(
+        "--top", type=int, default=5, help="slowest evaluations listed (default 5)"
+    )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        metavar="OUT",
+        help="also write the spans as Chrome trace-event JSON to OUT",
     )
 
     subparsers.add_parser("info", help="list available datasets, models and scales")
@@ -295,20 +337,34 @@ def _command_adapt(args) -> int:
 
 
 def _command_pareto(args) -> int:
+    import contextlib
+
+    from repro.trace import FlightRecorder, tracing
+
     scale = get_scale(args.scale)
     objectives = [name.strip() for name in args.objectives.split(",") if name.strip()]
-    result = run_pareto_front(
-        scale=scale,
-        dataset=args.dataset,
-        model=args.model,
-        objectives=objectives,
-        energy_budget=args.energy_budget,
-        iterations=args.iterations,
-        seed=args.seed,
-        cache_dir=args.cache_dir,
-        cache_sharded=args.sharded_cache,
-        async_workers=args.async_workers,
-    )
+    if args.trace:
+        recorder = FlightRecorder(capacity=1 << 20, jsonl_path=args.trace)
+        scope = tracing(recorder=recorder, ops=args.trace_ops)
+    else:
+        recorder = None
+        scope = contextlib.nullcontext()
+    with scope:
+        result = run_pareto_front(
+            scale=scale,
+            dataset=args.dataset,
+            model=args.model,
+            objectives=objectives,
+            energy_budget=args.energy_budget,
+            iterations=args.iterations,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            cache_sharded=args.sharded_cache,
+            async_workers=args.async_workers,
+        )
+    if recorder is not None:
+        recorder.close()
+        print(f"trace: {len(recorder)} spans written to {args.trace} (analyse with `repro trace {args.trace}`)")
     print(format_pareto(result))
     if args.plot:
         print()
@@ -402,6 +458,28 @@ def _command_lint(args) -> int:
     return 1
 
 
+def _command_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.trace import chrome_trace, format_summary, load_trace, summarize
+
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"repro trace: cannot read {args.trace_file}: {error}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"repro trace: no spans in {args.trace_file}", file=sys.stderr)
+        return 1
+    print(format_summary(summarize(spans, top=args.top)))
+    if args.chrome:
+        payload = chrome_trace(spans)
+        Path(args.chrome).write_text(json.dumps(payload) + "\n")
+        print(f"\nchrome trace written to {args.chrome} ({len(payload['traceEvents'])} events)")
+    return 0
+
+
 def _command_info(_args) -> int:
     print("datasets:", ", ".join(available_datasets()))
     print("models:  ", ", ".join(available_models()))
@@ -418,6 +496,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "cache": _command_cache,
     "lint": _command_lint,
+    "trace": _command_trace,
     "info": _command_info,
 }
 

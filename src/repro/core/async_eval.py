@@ -44,9 +44,12 @@ import concurrent.futures
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from repro.core.cache import merge_store_counters, store_counters
 from repro.core.objectives import EvaluationResult
 from repro.core.search_space import ArchitectureSpec
 from repro.core.weight_sharing import WeightStore, WeightUpdate
+from repro.tensor.sparse import aggregate_sparse_counters, merge_sparse_counters
+from repro.trace import absorb, capture_context, remote_activation
 from repro.training.parallel import func_is_picklable, get_mp_context
 
 
@@ -58,6 +61,68 @@ class CompletedEvaluation:
     ticket: int
     spec: ArchitectureSpec
     result: EvaluationResult
+
+
+class _TelemetryCall:
+    """Picklable task wrapper carrying trace context to a worker process.
+
+    Every pool submission is wrapped (the context is ``None`` while tracing is
+    disabled): the worker runs the objective under
+    :func:`~repro.trace.remote_activation` so its spans stitch under the
+    parent's open span, and ships back the spans plus its sparse-routing and
+    store-lookup counter deltas on ``result.telemetry`` — worker processes
+    bump their *own* process-wide tallies, which would otherwise be invisible
+    to the parent's ``/metrics`` view.
+    """
+
+    __slots__ = ("objective", "context")
+
+    def __init__(self, objective, context) -> None:
+        self.objective = objective
+        self.context = context
+
+    def __getstate__(self):
+        return (self.objective, self.context)
+
+    def __setstate__(self, state) -> None:
+        self.objective, self.context = state
+
+    def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        sparse_before = aggregate_sparse_counters()
+        store_before = store_counters()
+        with remote_activation(self.context) as spans:
+            result = self.objective(spec)
+        sparse_after = aggregate_sparse_counters()
+        store_after = store_counters()
+        result.telemetry = {
+            "spans": spans,
+            "counters": {
+                "sparse": {
+                    key: sparse_after[key] - sparse_before.get(key, 0) for key in sparse_after
+                },
+                "store": {
+                    key: store_after[key] - store_before.get(key, 0) for key in store_after
+                },
+            },
+        }
+        return result
+
+
+def _absorb_telemetry(result: EvaluationResult) -> None:
+    """Fold a worker result's transport-only telemetry into this process.
+
+    Spans go to the thread's active recorder, counter deltas into the
+    process-wide tallies; the payload is cleared afterwards so it can never
+    leak into persisted rows or be re-absorbed.
+    """
+    telemetry = result.telemetry
+    if not telemetry:
+        return
+    absorb(telemetry.get("spans") or [])
+    counters = telemetry.get("counters") or {}
+    merge_sparse_counters(counters.get("sparse") or {})
+    merge_store_counters(counters.get("store") or {})
+    result.telemetry = None
 
 
 class WeightUpdateSequencer:
@@ -160,7 +225,8 @@ class AsyncEvaluationExecutor:
         ticket = self._tickets
         self._tickets += 1
         if self._pool is not None:
-            self._futures[ticket] = self._pool.submit(self.objective, spec)
+            task = _TelemetryCall(self.objective, capture_context())
+            self._futures[ticket] = self._pool.submit(task, spec)
             self._specs[ticket] = spec
         else:
             self._pending_serial.append((ticket, spec))
@@ -188,7 +254,9 @@ class AsyncEvaluationExecutor:
         ticket = min(t for t, future in self._futures.items() if id(future) in done_ids)
         future = self._futures.pop(ticket)
         spec = self._specs.pop(ticket)
-        return CompletedEvaluation(ticket=ticket, spec=spec, result=future.result())
+        result = future.result()
+        _absorb_telemetry(result)
+        return CompletedEvaluation(ticket=ticket, spec=spec, result=result)
 
     def drain(self) -> Iterator[CompletedEvaluation]:
         """Yield every in-flight evaluation as it completes."""

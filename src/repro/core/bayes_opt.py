@@ -41,6 +41,7 @@ from repro.gp.acquisition import AcquisitionFunction, get_acquisition
 from repro.gp.gp import GaussianProcessRegressor
 from repro.gp.kernels import HammingKernel, Kernel
 from repro.tensor.random import default_rng
+from repro.trace import span
 from repro.training.parallel import parallel_map
 
 
@@ -394,14 +395,19 @@ class BayesianOptimizer:
             return False
         from repro.gp.gp import tune_kernel
 
-        x = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
-        y = np.array([record.objective_value for record in self.history], dtype=np.float64)
-        tuned, _ = tune_kernel(self.kernel, x, y, self.noise)
-        self._last_hyperopt = len(self.history)
-        if tuned is self.kernel:
-            return False
-        self.kernel = tuned
-        self.hyperopt_refits += 1
+        with span("hyperopt", observations=len(self.history)) as tune_span:
+            x = np.array([record.spec.encode() for record in self.history], dtype=np.float64)
+            y = np.array([record.objective_value for record in self.history], dtype=np.float64)
+            tuned, _ = tune_kernel(self.kernel, x, y, self.noise)
+            self._last_hyperopt = len(self.history)
+            if tuned is self.kernel:
+                if tune_span:
+                    tune_span.set(changed=False)
+                return False
+            self.kernel = tuned
+            self.hyperopt_refits += 1
+            if tune_span:
+                tune_span.set(changed=True)
         return True
 
     def _fit_surrogate(self) -> GaussianProcessRegressor:
@@ -477,18 +483,23 @@ class BayesianOptimizer:
         return self._pool_specs.pop(index)
 
     def _propose_batch(self, surrogate: GaussianProcessRegressor, iteration: int) -> List[ArchitectureSpec]:
-        if self.incremental:
-            self._refresh_pool()
-            if not self._pool_specs:
-                return []
-            return self._propose_batch_incremental(surrogate, iteration)
-        evaluated = self._dedup_keys()
-        pool = self.search_space.sample_batch(
-            self.candidate_pool_size, rng=self._rng, exclude=evaluated
-        )
-        if not pool:
-            return []
-        return self._propose_batch_legacy(surrogate, pool, iteration)
+        with span("propose", iteration=iteration) as propose_span:
+            if self.incremental:
+                self._refresh_pool()
+                if not self._pool_specs:
+                    return []
+                proposals = self._propose_batch_incremental(surrogate, iteration)
+            else:
+                evaluated = self._dedup_keys()
+                pool = self.search_space.sample_batch(
+                    self.candidate_pool_size, rng=self._rng, exclude=evaluated
+                )
+                if not pool:
+                    return []
+                proposals = self._propose_batch_legacy(surrogate, pool, iteration)
+            if propose_span:
+                propose_span.set(proposals=len(proposals))
+            return proposals
 
     def _propose_batch_incremental(
         self, surrogate: GaussianProcessRegressor, iteration: int
@@ -563,27 +574,31 @@ class BayesianOptimizer:
         batch path, that it will return the incumbent value — so concurrent
         proposals stay diverse even though none of them has reported back.
         """
-        surrogate = self._fit_surrogate()
-        # exclusion keys must share the dedup set's dtype (raw int64 encoding
-        # bytes); the float64 view is only for conditioning the posterior
-        pending = [spec.encode() for spec in in_flight_specs]
-        self._refresh_pool(exclude_extra={encoding.tobytes() for encoding in pending})
-        if not self._pool_specs:
-            return None
-        best_value = self.history.best().objective_value
-        fantasy = surrogate.fantasize(self._pool_matrix)
-        for encoding in pending:
-            fantasy.condition(encoding.astype(np.float64), best_value)
-        mean, std = fantasy.predict()
-        scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
-        return self._pool_pop(int(np.argmax(scores)))
+        with span("propose", iteration=iteration) as propose_span:
+            surrogate = self._fit_surrogate()
+            # exclusion keys must share the dedup set's dtype (raw int64 encoding
+            # bytes); the float64 view is only for conditioning the posterior
+            pending = [spec.encode() for spec in in_flight_specs]
+            self._refresh_pool(exclude_extra={encoding.tobytes() for encoding in pending})
+            if not self._pool_specs:
+                return None
+            best_value = self.history.best().objective_value
+            fantasy = surrogate.fantasize(self._pool_matrix)
+            for encoding in pending:
+                fantasy.condition(encoding.astype(np.float64), best_value)
+            mean, std = fantasy.predict()
+            scores = self.acquisition(mean, std, best_observed=best_value, iteration=iteration)
+            if propose_span:
+                propose_span.set(in_flight=len(pending), pool=len(self._pool_specs))
+            return self._pool_pop(int(np.argmax(scores)))
 
     def _absorb_async(self, done, sequencer, iteration: int, source: str) -> OptimizationRecord:
         """Record one completed evaluation and sequence its weight update."""
-        sequencer.add(done.ticket, done.result.weight_update)
-        record = OptimizationRecord.from_result(iteration, done.result, source=source, ticket=done.ticket)
-        self.history.append(record)
-        self._on_record(record)
+        with span("absorb", ticket=done.ticket, iteration=iteration):
+            sequencer.add(done.ticket, done.result.weight_update)
+            record = OptimizationRecord.from_result(iteration, done.result, source=source, ticket=done.ticket)
+            self.history.append(record)
+            self._on_record(record)
         return record
 
     def _optimize_async(self, num_iterations: int, callback) -> OptimizationHistory:
@@ -656,21 +671,27 @@ class BayesianOptimizer:
         """
         if num_iterations < 0:
             raise ValueError("num_iterations must be non-negative")
-        if self.async_workers >= 1:
-            return self._optimize_async(num_iterations, callback)
-        if not len(self.history):
-            self._evaluate_batch(self._initial_specs(), iteration=0, source="init")
-            if callback is not None:
-                callback(0, self.history)
-        for iteration in range(1, num_iterations + 1):
-            surrogate = self._fit_surrogate()
-            proposals = self._propose_batch(surrogate, iteration)
-            if not proposals:
-                break
-            self._evaluate_batch(proposals, iteration=iteration, source="bo")
-            if callback is not None:
-                callback(iteration, self.history)
-        return self.history
+        with span(
+            "search",
+            iterations=num_iterations,
+            batch_size=self.batch_size,
+            engine="async" if self.async_workers >= 1 else "batch",
+        ):
+            if self.async_workers >= 1:
+                return self._optimize_async(num_iterations, callback)
+            if not len(self.history):
+                self._evaluate_batch(self._initial_specs(), iteration=0, source="init")
+                if callback is not None:
+                    callback(0, self.history)
+            for iteration in range(1, num_iterations + 1):
+                surrogate = self._fit_surrogate()
+                proposals = self._propose_batch(surrogate, iteration)
+                if not proposals:
+                    break
+                self._evaluate_batch(proposals, iteration=iteration, source="bo")
+                if callback is not None:
+                    callback(iteration, self.history)
+            return self.history
 
     def best_spec(self) -> ArchitectureSpec:
         """Architecture with the smallest observed objective value."""

@@ -49,6 +49,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 import uuid
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -59,11 +60,44 @@ from repro.core.objectives import EvaluationResult, Objective, resolve_weight_co
 from repro.core.search_space import ArchitectureSpec, SearchSpace
 from repro.core.snapshots import DEFAULT_KEEP_BEST, WeightSnapshotStore
 from repro.core.weight_sharing import WeightUpdate
+from repro.trace import span
 
 
 def spec_key(spec: ArchitectureSpec) -> str:
     """Stable string key of an architecture (its flat integer encoding)."""
     return ",".join(str(int(v)) for v in spec.encode())
+
+
+# ---------------------------------------------------------------------------
+# Process-wide store lookup tallies.
+#
+# Each store instance keeps its own ``hits``/``misses`` counters, but the
+# serving layer's ``/metrics`` endpoint needs one monotone view per process —
+# including lookups made by stores the server never sees (e.g. a job's
+# sharded store, or worker-pool children whose deltas are merged back by the
+# async executor).  Mirrors the sparse-routing aggregate in
+# :mod:`repro.tensor.sparse`.
+# ---------------------------------------------------------------------------
+_STORE_AGGREGATE_LOCK = threading.Lock()
+_STORE_AGGREGATE: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def store_counters() -> Dict[str, int]:
+    """Snapshot of this process's cumulative store hit/miss tallies."""
+    with _STORE_AGGREGATE_LOCK:
+        return dict(_STORE_AGGREGATE)
+
+
+def merge_store_counters(delta: Dict[str, int]) -> None:
+    """Fold a worker process's store-counter delta into this process's tally."""
+    with _STORE_AGGREGATE_LOCK:
+        for key in _STORE_AGGREGATE:
+            _STORE_AGGREGATE[key] += int(delta.get(key, 0))
+
+
+def _bump_store(key: str) -> None:
+    with _STORE_AGGREGATE_LOCK:
+        _STORE_AGGREGATE[key] += 1
 
 
 #: (base path, pid) -> this process's shard writer id; see
@@ -367,8 +401,10 @@ class PersistentEvaluationStore:
         row = self._rows.get(key)
         if row is None:
             self.misses += 1
+            _bump_store("misses")
         else:
             self.hits += 1
+            _bump_store("hits")
         return row
 
     def put(self, key: str, row: Dict[str, object]) -> None:
@@ -619,19 +655,27 @@ class CachedObjective(Objective):
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
         key = spec_key(spec)
-        if key in self._cache:
-            self.hits += 1
-            return self._cache[key]
-        if self.store is not None:
-            row = self.store.get(key)
-            if row is not None:
-                result = row_to_result(row, spec)
-                base, weight_store = resolve_weight_context(self.objective)
-                replay_weight_snapshot(self.snapshots, row, result, base, weight_store)
-                self._remember(key, result)
+        with span("cache.lookup") as lookup_span:
+            if key in self._cache:
                 self.hits += 1
-                return result
-        self.misses += 1
+                if lookup_span:
+                    lookup_span.set(hit=True, tier="memory")
+                return self._cache[key]
+            if self.store is not None:
+                row = self.store.get(key)
+                if row is not None:
+                    result = row_to_result(row, spec)
+                    base, weight_store = resolve_weight_context(self.objective)
+                    with span("cache.replay_snapshot"):
+                        replay_weight_snapshot(self.snapshots, row, result, base, weight_store)
+                    self._remember(key, result)
+                    self.hits += 1
+                    if lookup_span:
+                        lookup_span.set(hit=True, tier="store")
+                    return result
+            self.misses += 1
+            if lookup_span:
+                lookup_span.set(hit=False)
         result = self.objective(spec)
         self._remember(key, result)
         if self.store is not None:

@@ -53,6 +53,7 @@ from repro.core.pareto import ParetoFront
 from repro.core.search_space import ArchitectureSpec
 from repro.gp.acquisition import feasibility_weighted, probability_in_bounds
 from repro.gp.gp import GaussianProcessRegressor
+from repro.trace import span
 
 
 @dataclass(frozen=True)
@@ -415,21 +416,27 @@ class MultiObjectiveBayesianOptimizer(BayesianOptimizer):
         different region of the front, which keeps a batch diverse without
         conditioning the per-objective posteriors on lies.
         """
-        self._refresh_pool()
-        proposals: List[ArchitectureSpec] = []
-        for _ in range(self.batch_size):
-            if not self._pool_specs:
-                break
-            proposals.append(self._propose_one(surrogate, iteration))
-        return proposals
+        with span("propose", iteration=iteration) as propose_span:
+            self._refresh_pool()
+            proposals: List[ArchitectureSpec] = []
+            for _ in range(self.batch_size):
+                if not self._pool_specs:
+                    break
+                proposals.append(self._propose_one(surrogate, iteration))
+            if propose_span:
+                propose_span.set(proposals=len(proposals))
+            return proposals
 
     def _propose_async(self, in_flight_specs, iteration: int) -> Optional[ArchitectureSpec]:
-        models = self._fit_surrogate()
-        pending = {spec.encode().tobytes() for spec in in_flight_specs}
-        self._refresh_pool(exclude_extra=pending)
-        if not self._pool_specs:
-            return None
-        return self._propose_one(models, iteration)
+        with span("propose", iteration=iteration) as propose_span:
+            models = self._fit_surrogate()
+            pending = {spec.encode().tobytes() for spec in in_flight_specs}
+            self._refresh_pool(exclude_extra=pending)
+            if not self._pool_specs:
+                return None
+            if propose_span:
+                propose_span.set(in_flight=len(pending), pool=len(self._pool_specs))
+            return self._propose_one(models, iteration)
 
     # ------------------------------------------------------------------
     # deterministic asynchronous engine

@@ -11,7 +11,7 @@ optimizers (BO, random search) stay agnostic of models and data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -21,9 +21,11 @@ from repro.data.loaders import DatasetSplits
 from repro.models.blocks import NeuronConfig
 from repro.models.template import NetworkTemplate
 from repro.snn.mac import MACCounter
+from repro.trace import span
 from repro.training.callbacks import TrainingHistory
 from repro.training.snn_trainer import SNNTrainer, SNNTrainingConfig
 from repro.tensor.random import default_rng
+from repro.tensor.sparse import sparse_counters
 
 
 @dataclass
@@ -44,6 +46,13 @@ class EvaluationResult:
     ``latency_steps``, ...) keyed by name.  It is persisted on evaluation
     rows and restored on cache hits, so a cached run replays *all*
     objectives, not just the scalar ``objective_value``.
+
+    ``telemetry`` carries observability payloads produced in a worker process
+    back to the submitter: ``{"spans": [...], "counters": {...}}`` — the
+    trace spans collected under a propagated trace context
+    (:mod:`repro.trace`) and the substrate routing / store-hit counter deltas.
+    It is transport-only: excluded from equality, never persisted into
+    evaluation rows, and cleared once the parent absorbs it.
     """
 
     spec: ArchitectureSpec
@@ -55,6 +64,7 @@ class EvaluationResult:
     extra: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     weight_update: Optional[WeightUpdate] = None
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         self.objective_value = float(self.objective_value)
@@ -195,24 +205,42 @@ class AccuracyDropObjective(Objective):
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
         self.num_evaluations += 1
-        model = self.build_model(spec)
-        trainer = SNNTrainer(self.training_config)
-        history = trainer.fit(model, self.splits.train, self.splits.val)
+        with span("evaluate") as eval_span:
+            if eval_span:
+                eval_span.set(arch=spec_fingerprint(spec))
+                routing_before = sparse_counters()
+            with span("evaluate.build"):
+                model = self.build_model(spec)
+            trainer = SNNTrainer(self.training_config)
+            with span("evaluate.train", epochs=self.training_config.epochs):
+                history = trainer.fit(model, self.splits.train, self.splits.val)
 
-        firing_rate = 0.0
-        if self.measure_firing_rate:
-            accuracy, stats = trainer.evaluate_with_firing_rate(model, self.splits.val)
-            firing_rate = stats.average_firing_rate
-        else:
-            accuracy = trainer.evaluate(model, self.splits.val)
+            firing_rate = 0.0
+            with span("evaluate.accuracy"):
+                if self.measure_firing_rate:
+                    accuracy, stats = trainer.evaluate_with_firing_rate(model, self.splits.val)
+                    firing_rate = stats.average_firing_rate
+                else:
+                    accuracy = trainer.evaluate(model, self.splits.val)
 
-        macs = 0.0
-        if self.measure_macs and len(self.splits.val):
-            macs = self._count_macs(spec, model)
+            macs = 0.0
+            if self.measure_macs and len(self.splits.val):
+                with span("evaluate.macs"):
+                    macs = self._count_macs(spec, model)
 
-        latency_ms = None
-        if self.measure_latency and len(self.splits.val):
-            latency_ms = self._measure_latency(model)
+            latency_ms = None
+            if self.measure_latency and len(self.splits.val):
+                with span("evaluate.latency"):
+                    latency_ms = self._measure_latency(model)
+            if eval_span:
+                routing_after = sparse_counters()
+                eval_span.set(
+                    val_accuracy=float(accuracy),
+                    **{
+                        key: routing_after[key] - routing_before.get(key, 0)
+                        for key in routing_after
+                    },
+                )
 
         # only measured quantities enter the metrics dict: a constant 0.0 for
         # an unmeasured firing rate would silently satisfy ObjectiveSpec's
@@ -323,6 +351,7 @@ class EnergyAwareObjective(Objective):
             extra={**result.extra, "penalty": penalty, "raw_objective": result.objective_value},
             metrics=result.metrics,
             weight_update=result.weight_update,
+            telemetry=result.telemetry,
         )
 
 

@@ -43,6 +43,7 @@ from repro.core.weight_sharing import WeightStore
 from repro.data import load_dataset
 from repro.experiments.config import ExperimentScale, dataset_kwargs, get_scale, model_kwargs
 from repro.models import get_template
+from repro.trace import span
 from repro.training.snn_trainer import SNNTrainingConfig
 
 
@@ -241,7 +242,14 @@ def run_pareto_front(
 
     stopped = False
     try:
-        history = optimizer.optimize(max(iterations - initial, 0), callback=_callback)
+        with span(
+            "pareto_front",
+            dataset=splits.name,
+            model=template.name,
+            objectives=",".join(spec.name for spec in specs),
+            async_workers=async_workers,
+        ):
+            history = optimizer.optimize(max(iterations - initial, 0), callback=_callback)
     except SearchStopped:
         stopped = True
         history = optimizer.history

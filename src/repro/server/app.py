@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.cache import store_counters
 from repro.server.catalog import StoreCatalog
 from repro.server.health import HealthMonitor
 from repro.server.jobs import JobManager
@@ -46,6 +47,14 @@ from repro.server.routes import (
     TextResponse,
     resolve,
 )
+from repro.tensor.sparse import aggregate_sparse_counters
+
+
+def _store_lookup_hit_rate() -> float:
+    """Fraction of process-wide evaluation-store lookups answered from a store."""
+    counters = store_counters()
+    total = counters["hits"] + counters["misses"]
+    return counters["hits"] / total if total else 0.0
 
 
 @dataclass
@@ -230,6 +239,40 @@ class ReproServer:
         self.registry.gauge(
             "repro_evals_in_flight", "Evaluations currently executing across all jobs"
         ).set_function(lambda: self.jobs.evals_in_flight())
+        self.registry.gauge(
+            "repro_worker_occupancy",
+            "Fraction of running jobs' evaluation-worker capacity currently busy",
+        ).set_function(lambda: self.jobs.worker_occupancy())
+        self.registry.counter(
+            "repro_job_events_dropped_total",
+            "Events dropped from bounded per-job event logs",
+        ).set_function(lambda: float(self.jobs.events_dropped_total()))
+        # process-wide substrate/store tallies (worker-process deltas are merged
+        # back by the async executor, so these cover pool evaluations too)
+        self.registry.counter(
+            "repro_sparse_steps_total",
+            "Inference dispatches routed through the event-driven sparse kernels",
+        ).set_function(lambda: float(aggregate_sparse_counters()["sparse_steps"]))
+        self.registry.counter(
+            "repro_dense_steps_total",
+            "Inference dispatches that fell back to the dense kernels while sparse mode was active",
+        ).set_function(lambda: float(aggregate_sparse_counters()["dense_steps"]))
+        self.registry.counter(
+            "repro_sparse_probe_failures_total",
+            "Per-shape GEMM certification probes that rejected the sparse path",
+        ).set_function(lambda: float(aggregate_sparse_counters()["probe_failures"]))
+        self.registry.counter(
+            "repro_store_lookup_hits_total",
+            "Evaluation-store lookups answered from a store (process-wide)",
+        ).set_function(lambda: float(store_counters()["hits"]))
+        self.registry.counter(
+            "repro_store_lookup_misses_total",
+            "Evaluation-store lookups that missed every store (process-wide)",
+        ).set_function(lambda: float(store_counters()["misses"]))
+        self.registry.gauge(
+            "repro_store_lookup_hit_rate",
+            "Fraction of process-wide evaluation-store lookups answered from a store",
+        ).set_function(_store_lookup_hit_rate)
         self._http = _HTTPServer((config.host, config.port), _Handler)
         self._http.app = self
         self._thread: Optional[threading.Thread] = None

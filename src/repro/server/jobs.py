@@ -24,9 +24,11 @@ import time
 import traceback
 import uuid
 from dataclasses import asdict
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bayes_opt import BayesianOptimizer
+from repro.trace import FlightRecorder, tracing
 from repro.core.cache import (
     CachedObjective,
     dataset_fingerprint_fields,
@@ -56,6 +58,11 @@ TERMINAL_STATES = frozenset({COMPLETED, FAILED, STOPPED})
 #: search cannot grow server memory without bound
 MAX_EVENTS_PER_JOB = 10_000
 
+#: spans kept in a job's flight-recorder ring; older spans fall off the ring
+#: (still mirrored to the trace JSONL next to the evaluation store) so a very
+#: long search cannot grow server memory without bound
+MAX_TRACE_SPANS_PER_JOB = 16_384
+
 
 class JobValidationError(ValueError):
     """A job request that cannot be turned into a search (HTTP 400)."""
@@ -80,6 +87,8 @@ class Job:
         self.stop_event = threading.Event()
         self.events: List[Dict[str, object]] = []
         self.events_dropped = 0
+        #: per-job flight recorder; attached by the manager when the job runs
+        self.recorder: Optional[FlightRecorder] = None
         self._next_seq = 0
         self._condition = threading.Condition()
         self._thread: Optional[threading.Thread] = None
@@ -299,6 +308,27 @@ class JobManager:
     def evals_in_flight(self) -> int:
         return sum(job.evals_in_flight for job in self.jobs())
 
+    def worker_occupancy(self) -> float:
+        """Fraction of the running jobs' worker capacity currently busy.
+
+        Capacity counts at least one evaluation slot per running job (serial
+        jobs evaluate in the job thread); ``0.0`` with nothing running.
+        """
+        capacity = in_flight = 0
+        for job in self.jobs():
+            if job.state == RUNNING:
+                capacity += max(job.workers, 1)
+                in_flight += job.evals_in_flight
+        return in_flight / capacity if capacity else 0.0
+
+    def events_dropped_total(self) -> int:
+        """Events dropped from bounded per-job logs, summed over all jobs."""
+        total = 0
+        for job in self.jobs():
+            with job._condition:
+                total += job.events_dropped
+        return total
+
     def counts(self) -> Dict[str, int]:
         counts = {state: 0 for state in (QUEUED, RUNNING, COMPLETED, FAILED, STOPPED)}
         for job in self.jobs():
@@ -314,11 +344,19 @@ class JobManager:
 
     def _run(self, job: Job) -> None:
         job.set_state(RUNNING)
+        # every job is traced into its own bounded flight recorder (thread-local
+        # scope: concurrent jobs never see each other's spans), mirrored to a
+        # JSONL file next to the evaluation store for post-mortem inspection
+        job.recorder = FlightRecorder(
+            capacity=MAX_TRACE_SPANS_PER_JOB,
+            jsonl_path=Path(self.cache_dir) / "traces" / f"{job.id}.jsonl",
+        )
         try:
-            if job.kind == "pareto":
-                stopped, result = self._run_pareto(job)
-            else:
-                stopped, result = self._run_single_objective(job)
+            with tracing(recorder=job.recorder, trace_id=f"t-{job.id}"):
+                if job.kind == "pareto":
+                    stopped, result = self._run_pareto(job)
+                else:
+                    stopped, result = self._run_single_objective(job)
             job.result = result
             job.set_state(STOPPED if stopped else COMPLETED)
         except Exception as error:  # a failing search must not kill the server
@@ -327,6 +365,8 @@ class JobManager:
             # undebuggable from the API
             job.emit({"type": "traceback", "traceback": traceback.format_exc()})
             job.set_state(FAILED, error=f"{type(error).__name__}: {error}")
+        finally:
+            job.recorder.close()  # ring stays readable by /jobs/<id>/trace
 
     def _run_pareto(self, job: Job) -> Tuple[bool, Dict[str, object]]:
         params = job.params

@@ -104,17 +104,51 @@ class _Metric:
 class _CounterChild:
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.value = 0.0
+        self._value = 0.0
+        self._function: Optional[Callable[[], float]] = None
+        #: last callback failure, kept so a NaN sample is diagnosable
+        self.last_error: Optional[str] = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         with self._lock:
-            self.value += amount
+            if self._function is not None:
+                raise ValueError("counter is callback-backed; it cannot also be incremented")
+            self._value += amount
+
+    def set_function(self, function: Callable[[], float]) -> None:
+        with self._lock:
+            self._function = function
+
+    def get(self) -> float:
+        with self._lock:
+            function = self._function
+            value = self._value
+        if function is not None:
+            try:
+                result = float(function())
+            except Exception as error:  # pragma: no cover - callback failure
+                # a failing callback must not break the whole /metrics page,
+                # but the failure must stay visible somewhere
+                with self._lock:
+                    self.last_error = f"{type(error).__name__}: {error}"
+                return float("nan")
+            with self._lock:
+                self.last_error = None
+            return result
+        return value
 
 
 class Counter(_Metric):
-    """Monotonically increasing counter, optionally labelled."""
+    """Monotonically increasing counter, optionally labelled.
+
+    A counter can alternatively be *callback-backed* (:meth:`set_function`):
+    the callback — which must itself be monotone, e.g. a snapshot of a
+    process-wide tally — is evaluated at render time, mirroring the
+    callback-backed :class:`Gauge`.  A callback-backed counter rejects
+    :meth:`inc`; the two sourcing modes cannot be mixed.
+    """
 
     type_name = "counter"
 
@@ -124,15 +158,20 @@ class Counter(_Metric):
     def inc(self, amount: float = 1.0) -> None:
         self._unlabelled().inc(amount)
 
+    def set_function(self, function: Callable[[], float]) -> None:
+        """Evaluate ``function`` at render time instead of storing a value."""
+        self._unlabelled().set_function(function)
+
     @property
     def value(self) -> float:
         """Sum over every label combination (convenience for tests/health)."""
         with self._lock:
-            return sum(child.value for child in self._children.values())
+            children = list(self._children.values())
+        return sum(child.get() for child in children)
 
     def _samples(self):
         for labels, child in sorted(self._children.items()):
-            yield "", _format_labels(labels), child.value
+            yield "", _format_labels(labels), child.get()
 
 
 class _GaugeChild:

@@ -184,6 +184,37 @@ def handle_job_events(request: Request) -> StreamResponse:
     return StreamResponse(stream())
 
 
+def handle_job_trace(request: Request) -> JSONResponse:
+    """The job's flight-recorder spans (``?format=chrome`` for chrome://tracing).
+
+    ``?format=summary`` returns the per-phase breakdown / critical path
+    computed by :func:`repro.trace.summarize` — the same analysis ``repro
+    trace`` renders offline from the trace JSONL.  A job that has not started
+    running yet answers with an empty span list, not an error.
+    """
+    from repro.trace import chrome_trace, summarize
+
+    job = _get_job(request)
+    recorder = job.recorder
+    spans = recorder.spans() if recorder is not None else []
+    fmt = (request.param("format", "spans") or "spans").lower()
+    if fmt == "chrome":
+        return JSONResponse(chrome_trace(spans))
+    if fmt == "summary":
+        return JSONResponse({"job_id": job.id, **summarize(spans)})
+    if fmt != "spans":
+        raise HTTPError(400, f"unknown trace format {fmt!r} (use 'spans', 'summary' or 'chrome')")
+    return JSONResponse(
+        {
+            "job_id": job.id,
+            "span_count": len(spans),
+            "dropped": recorder.dropped if recorder is not None else 0,
+            "jsonl_path": str(recorder.jsonl_path) if recorder is not None else None,
+            "spans": spans,
+        }
+    )
+
+
 def handle_pareto(request: Request) -> JSONResponse:
     """The current non-dominated front of the merged evaluation store."""
     objectives = [
@@ -279,6 +310,7 @@ ROUTES: List[Tuple[str, str, Callable[[Request], object]]] = [
     ("GET", "/jobs", handle_list_jobs),
     ("GET", "/jobs/{id}", handle_get_job),
     ("GET", "/jobs/{id}/events", handle_job_events),
+    ("GET", "/jobs/{id}/trace", handle_job_trace),
     ("GET", "/pareto", handle_pareto),
     ("GET", "/recommend", handle_recommend),
 ]

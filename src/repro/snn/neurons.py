@@ -45,6 +45,7 @@ from repro.nn.module import Module
 from repro.tensor import Tensor
 from repro.tensor.sparse import spike_events
 from repro.tensor.tensor import graph_free, is_grad_enabled
+from repro.trace import ops_span
 from repro.snn.surrogate import FastSigmoidSurrogate, SurrogateGradient, get_surrogate, spike_function
 
 
@@ -195,22 +196,29 @@ class SpikingNeuron(Module):
 
     def _emit_inference(self, mem: np.ndarray, shifted: np.ndarray) -> Tensor:
         """Threshold ``shifted`` (membrane minus threshold shift) into spikes."""
-        spk = self._fast_buffer("spikes", mem.shape, mem.dtype)
-        spike_bool = self._fast_buffer("spike_bool", mem.shape, bool)
-        np.greater_equal(shifted, 0.0, out=spike_bool)
-        np.copyto(spk, spike_bool, casting="unsafe")
-        self.membrane = graph_free(mem)
-        spikes = graph_free(spk)
-        self.previous_spikes = spikes
-        # under sparse inference, low-activity steps ship their nonzero index
-        # list with the spike tensor (fresh flatnonzero output, never scratch)
-        events = spike_events(spike_bool, spk.dtype)
-        if events is not None:
-            spikes._events = events
-        if self.record_spikes:
-            self._record(spk)
-        # repro-lint: disable=buffer-escape (intentional alias: the fast path hands out the persistent spike buffer; run_temporal copies at every retention boundary — see tests/test_inference_fastpath.py)
-        return spikes
+        with ops_span("op.neuron_step") as op:
+            spk = self._fast_buffer("spikes", mem.shape, mem.dtype)
+            spike_bool = self._fast_buffer("spike_bool", mem.shape, bool)
+            np.greater_equal(shifted, 0.0, out=spike_bool)
+            np.copyto(spk, spike_bool, casting="unsafe")
+            self.membrane = graph_free(mem)
+            spikes = graph_free(spk)
+            self.previous_spikes = spikes
+            # under sparse inference, low-activity steps ship their nonzero index
+            # list with the spike tensor (fresh flatnonzero output, never scratch)
+            events = spike_events(spike_bool, spk.dtype)
+            if events is not None:
+                spikes._events = events
+            if self.record_spikes:
+                self._record(spk)
+            if op:
+                op.set(
+                    kind=type(self).__name__,
+                    size=int(mem.size),
+                    route="sparse" if events is not None else "dense",
+                )
+            # repro-lint: disable=buffer-escape (intentional alias: the fast path hands out the persistent spike buffer; run_temporal copies at every retention boundary — see tests/test_inference_fastpath.py)
+            return spikes
 
 
 class LIFNeuron(SpikingNeuron):

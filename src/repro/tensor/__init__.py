@@ -27,6 +27,8 @@ from repro.tensor.tensor import Tensor, graph_free, no_grad, is_grad_enabled
 from repro.tensor.workspace import WorkspacePool, clear_workspaces
 from repro.tensor.sparse import (
     SPARSE_CROSSOVER,
+    aggregate_sparse_counters,
+    merge_sparse_counters,
     reset_sparse_counters,
     sparse_counters,
     sparse_crossover,
@@ -86,6 +88,8 @@ __all__ = [
     "sparse_enabled",
     "sparse_crossover",
     "sparse_counters",
+    "aggregate_sparse_counters",
+    "merge_sparse_counters",
     "reset_sparse_counters",
     "FLOAT32_SAFETY",
     "float32_tolerance",

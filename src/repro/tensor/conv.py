@@ -34,6 +34,7 @@ from numpy.lib.stride_tricks import as_strided
 
 from repro.tensor.sparse import conv_dispatch, sparse_conv2d
 from repro.tensor.tensor import Tensor, ensure_tensor, graph_free, is_grad_enabled
+from repro.trace import ops_span
 from repro.tensor.workspace import workspace
 
 IntOrPair = Union[int, Tuple[int, int]]
@@ -229,16 +230,23 @@ def conv2d(
         # event-driven kernel when the input carries a spike-event list and
         # the geometry is certified (see repro.tensor.sparse); bit-identical
         # to the dense kernel below, just never materialising the im2col
-        events = conv_dispatch(x, weight, bias, groups, out_h, out_w)
-        if events is not None:
-            return graph_free(
-                sparse_conv2d(
-                    x.shape, weight.data, bias_data, events, sh, sw, ph, pw, out_h, out_w
+        with ops_span("op.conv2d") as op:
+            events = conv_dispatch(x, weight, bias, groups, out_h, out_w)
+            if op:
+                op.set(
+                    route="sparse" if events is not None else "dense",
+                    shape=f"{n}x{c_in}x{h}x{w}->{c_out}x{out_h}x{out_w}",
+                    events=-1 if events is None else int(events.size),
                 )
+            if events is not None:
+                return graph_free(
+                    sparse_conv2d(
+                        x.shape, weight.data, bias_data, events, sh, sw, ph, pw, out_h, out_w
+                    )
+                )
+            return graph_free(
+                _conv2d_infer(x.data, weight.data, bias_data, groups, sh, sw, ph, pw, out_h, out_w)
             )
-        return graph_free(
-            _conv2d_infer(x.data, weight.data, bias_data, groups, sh, sw, ph, pw, out_h, out_w)
-        )
 
     if ph or pw:
         padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))

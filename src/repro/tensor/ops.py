@@ -26,6 +26,7 @@ from typing import Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.tensor.sparse import matmul_dispatch, sparse_matmul
+from repro.trace import ops_span
 from repro.tensor.tensor import (
     Tensor,
     _as_array,
@@ -197,10 +198,16 @@ def matmul(a, b) -> Tensor:
     """
     a, b = ensure_tensor(a), ensure_tensor(b)
     if not _tracked(a, b):
-        events = matmul_dispatch(a, b)
-        if events is not None:
-            return graph_free(sparse_matmul(a.data.shape, b.data, events))
-        return graph_free(a.data @ b.data)
+        with ops_span("op.matmul") as op:
+            events = matmul_dispatch(a, b)
+            if op:
+                op.set(
+                    route="sparse" if events is not None else "dense",
+                    shape=f"{'x'.join(map(str, a.data.shape))}@{'x'.join(map(str, b.data.shape))}",
+                )
+            if events is not None:
+                return graph_free(sparse_matmul(a.data.shape, b.data, events))
+            return graph_free(a.data @ b.data)
     data = a.data @ b.data
 
     def backward(out: Tensor):

@@ -78,6 +78,41 @@ class _SparseState(threading.local):
 
 _STATE = _SparseState()
 
+#: process-wide routing aggregates: unlike the per-thread tallies these are
+#: never reset by tests/workloads, so operators can export them as monotonic
+#: ``/metrics`` counters.  ``probe_failures`` counts fresh GEMM certification
+#: probes that came back non-sequential (each uncertified shape forces the
+#: dense fallback for its lifetime).  Only touched while sparse mode is
+#: active, so the dense default path takes no lock.
+_AGGREGATE_LOCK = threading.Lock()
+_AGGREGATE: Dict[str, int] = {"sparse_steps": 0, "dense_steps": 0, "probe_failures": 0}
+
+
+def aggregate_sparse_counters() -> Dict[str, int]:
+    """Process-wide snapshot of the routing tallies (all threads, no reset).
+
+    The serving layer exports these as the ``repro_sparse_*_total`` counters;
+    evaluations running in worker processes fold their deltas back into the
+    parent via the result telemetry channel (see
+    :class:`repro.core.async_eval.AsyncEvaluationExecutor`).
+    """
+    with _AGGREGATE_LOCK:
+        return dict(_AGGREGATE)
+
+
+def merge_sparse_counters(delta: Dict[str, int]) -> None:
+    """Fold a worker process's routing-tally delta into this process's totals."""
+    if not delta:
+        return
+    with _AGGREGATE_LOCK:
+        for key in _AGGREGATE:
+            _AGGREGATE[key] += int(delta.get(key, 0))
+
+
+def _bump_aggregate(key: str) -> None:
+    with _AGGREGATE_LOCK:
+        _AGGREGATE[key] += 1
+
 
 @contextlib.contextmanager
 def sparse_inference(crossover: Optional[float] = None):
@@ -154,6 +189,8 @@ def gemm_accumulates_sequentially(rows: int, k: int, cols: int) -> bool:
             right[1:, :] = 2.0 ** -53
         cached = bool(np.all((left @ right) == 1.0))
         _STATE.gemm_probe_cache[key] = cached
+        if not cached:
+            _bump_aggregate("probe_failures")
     return cached
 
 
@@ -245,8 +282,10 @@ def conv_dispatch(x, weight, bias, groups: int, out_h: int, out_w: int) -> Optio
         )
     ):
         state.dense_steps += 1
+        _bump_aggregate("dense_steps")
         return None
     state.sparse_steps += 1
+    _bump_aggregate("sparse_steps")
     return events
 
 
@@ -265,8 +304,10 @@ def matmul_dispatch(a, b) -> Optional[np.ndarray]:
         or not gemm_accumulates_sequentially(a.data.shape[0], a.data.shape[1], b.data.shape[1])
     ):
         state.dense_steps += 1
+        _bump_aggregate("dense_steps")
         return None
     state.sparse_steps += 1
+    _bump_aggregate("sparse_steps")
     return events
 
 

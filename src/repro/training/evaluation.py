@@ -12,6 +12,7 @@ from repro.nn.losses import confusion_matrix
 from repro.nn.module import Module
 from repro.snn.metrics import FiringRateMonitor, SpikeStatistics
 from repro.tensor import Tensor, no_grad
+from repro.trace import span
 
 
 def _forward_batches(model: Module, dataset: ArrayDataset, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -121,15 +122,21 @@ def measure_latency_ms(
     inputs = Tensor(batch)
     was_training = model.training
     model.eval()
-    try:
-        with no_grad():
-            for _ in range(warmup):
-                model(inputs)
-            timings = []
-            for _ in range(runs):
-                start = time.perf_counter()
-                model(inputs)
-                timings.append(time.perf_counter() - start)
-    finally:
-        model.train(was_training)
-    return float(np.median(timings) * 1e3)
+    # One span around the whole protocol (never per-run: entering a span per
+    # timed pass would perturb the very timings this function reports).
+    with span("measure_latency", runs=runs, warmup=warmup) as latency_span:
+        try:
+            with no_grad():
+                for _ in range(warmup):
+                    model(inputs)
+                timings = []
+                for _ in range(runs):
+                    start = time.perf_counter()
+                    model(inputs)
+                    timings.append(time.perf_counter() - start)
+        finally:
+            model.train(was_training)
+        median_ms = float(np.median(timings) * 1e3)
+        if latency_span:
+            latency_span.set(median_ms=median_ms)
+    return median_ms

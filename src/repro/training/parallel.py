@@ -32,6 +32,8 @@ import pickle
 import weakref
 from typing import Callable, List, Sequence, TypeVar
 
+from repro.trace import absorb, capture_context, remote_activation
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -101,6 +103,35 @@ def _workload_is_picklable(func, items) -> bool:
     return True
 
 
+class _TracedMapCall:
+    """Picklable wrapper shipping trace context alongside a pool-mapped func.
+
+    Used only on the pool path and only while tracing is active in the
+    submitting thread: the worker runs ``func`` under
+    :func:`~repro.trace.remote_activation` and returns ``(result, spans)``;
+    the parent unwraps the pair and folds the spans into its recorder, so
+    worker-side spans (training epochs, per-op profiling) stitch under the
+    span that was open at submission time.
+    """
+
+    __slots__ = ("func", "context")
+
+    def __init__(self, func, context) -> None:
+        self.func = func
+        self.context = context
+
+    def __getstate__(self):
+        return (self.func, self.context)
+
+    def __setstate__(self, state) -> None:
+        self.func, self.context = state
+
+    def __call__(self, item):
+        with remote_activation(self.context) as spans:
+            result = self.func(item)
+        return result, spans
+
+
 def parallel_map(func: Callable[[T], R], items: Sequence[T], workers: int = 1) -> List[R]:
     """Apply ``func`` to every item, optionally across worker processes.
 
@@ -109,16 +140,29 @@ def parallel_map(func: Callable[[T], R], items: Sequence[T], workers: int = 1) -
     raised *by* ``func`` always propagate, with any worker count.  An invalid
     ``REPRO_MP_START_METHOD`` raises instead of degrading silently — a
     misconfigured run must not masquerade as a multiprocessing one.
+
+    When the submitting thread is tracing, the captured trace context rides to
+    the workers and their spans come back stitched under the caller's open
+    span (see :class:`_TracedMapCall`); with tracing disabled the workload is
+    shipped unwrapped, exactly as before the tracing subsystem existed.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
     if not _workload_is_picklable(func, items):
         return [func(item) for item in items]
-    context = get_mp_context()
+    mp_context = get_mp_context()
     try:
-        pool = context.Pool(processes=min(workers, len(items)))
+        pool = mp_context.Pool(processes=min(workers, len(items)))
     except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
         return [func(item) for item in items]
+    trace_context = capture_context()
     with pool:
-        return pool.map(func, items)
+        if trace_context is None:
+            return pool.map(func, items)
+        pairs = pool.map(_TracedMapCall(func, trace_context), items)
+    results: List[R] = []
+    for result, spans in pairs:
+        absorb(spans)
+        results.append(result)
+    return results

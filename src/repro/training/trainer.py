@@ -25,6 +25,7 @@ from repro.nn.scheduler import ConstantLR, CosineAnnealingLR, LRScheduler, StepL
 from repro.training.callbacks import EarlyStopping, TrainingHistory
 from repro.training.evaluation import evaluate_classifier
 from repro.tensor.random import default_rng
+from repro.trace import span
 
 
 @dataclass
@@ -114,33 +115,36 @@ class Trainer:
         from repro.tensor import Tensor  # local import to keep module load light
 
         for _epoch in range(config.epochs):
-            model.train()
-            epoch_losses = []
-            epoch_accuracies = []
-            for inputs, targets in loader:
-                optimizer.zero_grad()
-                logits = model(Tensor(inputs))
-                loss = loss_fn(logits, targets)
-                loss.backward()
-                if config.grad_clip:
-                    optimizer.clip_grad_norm(config.grad_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-                epoch_accuracies.append(accuracy(logits, targets))
-            val_accuracy = (
-                evaluate_classifier(model, val_dataset, batch_size=config.batch_size)
-                if val_dataset is not None and len(val_dataset)
-                else float(np.mean(epoch_accuracies)) if epoch_accuracies else 0.0
-            )
-            history.record(
-                train_loss=float(np.mean(epoch_losses)) if epoch_losses else 0.0,
-                train_accuracy=float(np.mean(epoch_accuracies)) if epoch_accuracies else 0.0,
-                val_accuracy=val_accuracy,
-                learning_rate=scheduler.current_lr(),
-            )
-            scheduler.step()
-            if stopper is not None and stopper.update(val_accuracy):
-                break
+            with span("train.epoch", epoch=_epoch) as epoch_span:
+                model.train()
+                epoch_losses = []
+                epoch_accuracies = []
+                for inputs, targets in loader:
+                    optimizer.zero_grad()
+                    logits = model(Tensor(inputs))
+                    loss = loss_fn(logits, targets)
+                    loss.backward()
+                    if config.grad_clip:
+                        optimizer.clip_grad_norm(config.grad_clip)
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                    epoch_accuracies.append(accuracy(logits, targets))
+                val_accuracy = (
+                    evaluate_classifier(model, val_dataset, batch_size=config.batch_size)
+                    if val_dataset is not None and len(val_dataset)
+                    else float(np.mean(epoch_accuracies)) if epoch_accuracies else 0.0
+                )
+                history.record(
+                    train_loss=float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                    train_accuracy=float(np.mean(epoch_accuracies)) if epoch_accuracies else 0.0,
+                    val_accuracy=val_accuracy,
+                    learning_rate=scheduler.current_lr(),
+                )
+                if epoch_span:
+                    epoch_span.set(batches=len(epoch_losses), val_accuracy=float(val_accuracy))
+                scheduler.step()
+                if stopper is not None and stopper.update(val_accuracy):
+                    break
         model.eval()
         return history
 

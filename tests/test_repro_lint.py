@@ -308,6 +308,41 @@ class TestMetricsHygiene:
         )
         assert "metrics-hygiene" not in rules_of(report)
 
+    def test_span_hygiene_flags_dynamic_names_and_bare_opens(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "bad_spans.py": """
+                def evaluate(name, trace):
+                    with span(f"evaluate.{name}"):
+                        pass
+                    dangling = trace.span("dangling")
+                    return dangling
+                """
+            },
+        )
+        metrics = [f for f in report.findings if f.rule == "metrics-hygiene"]
+        assert len(metrics) == 2
+        messages = " | ".join(f.message for f in metrics)
+        assert "span name must be a string literal" in messages
+        assert "outside a with block" in messages
+
+    def test_span_in_with_block_with_literal_name_is_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "good_spans.py": """
+                def evaluate(arch):
+                    with span("evaluate", arch=arch) as current:
+                        if current:
+                            current.set(accuracy=1.0)
+                    with ops_span("op.conv2d", patches=4):
+                        pass
+                """
+            },
+        )
+        assert "metrics-hygiene" not in rules_of(report)
+
 
 # ---------------------------------------------------------------------------
 # rule: store-schema-drift

@@ -300,6 +300,131 @@ class TestJobs:
         assert final["state"] == "completed"
 
 
+class TestJobTrace:
+    def test_trace_endpoint_serves_spans_summary_and_chrome(self, server):
+        """Every job runs traced: the endpoint serves the flight-recorder
+        ring in all three formats and the JSONL mirror lands on disk."""
+        _, job = post_json(server.url + "/jobs", SMOKE_JOB)
+        wait_terminal(server.url, job["id"])
+
+        status, trace = get_json(f"{server.url}/jobs/{job['id']}/trace")
+        assert status == 200
+        assert trace["job_id"] == job["id"]
+        assert trace["span_count"] == len(trace["spans"]) > 0
+        names = {entry["name"] for entry in trace["spans"]}
+        assert {"search", "evaluate", "cache.lookup", "train.epoch"} <= names
+        # one trace per job, id derived from the job id
+        assert {entry["trace_id"] for entry in trace["spans"]} == {f"t-{job['id']}"}
+        # the JSONL mirror holds everything the ring saw (no drops expected
+        # at smoke scale, so the two agree exactly)
+        assert trace["jsonl_path"].endswith(f"{job['id']}.jsonl")
+        from repro.trace import load_trace
+
+        mirrored = load_trace(trace["jsonl_path"])
+        assert len(mirrored) == trace["span_count"] + trace["dropped"]
+
+        status, summary = get_json(f"{server.url}/jobs/{job['id']}/trace?format=summary")
+        assert status == 200 and summary["job_id"] == job["id"]
+        phase_names = {row["name"] for row in summary["phases"]}
+        assert "evaluate" in phase_names and "search" in phase_names
+        assert summary["evaluation_count"] >= 1
+        assert summary["critical_path"][0]["name"] in ("pareto_front", "search")
+
+        status, chrome = get_json(f"{server.url}/jobs/{job['id']}/trace?format=chrome")
+        assert status == 200
+        assert any(event.get("ph") == "X" for event in chrome["traceEvents"])
+
+        status, body = get_json(f"{server.url}/jobs/{job['id']}/trace?format=bogus")
+        assert status == 400 and "bogus" in body["error"]
+
+    def test_trace_of_unknown_job_is_404(self, server):
+        status, _ = get_json(server.url + "/jobs/job-deadbeef/trace")
+        assert status == 404
+
+    def test_observability_metrics_are_exported(self, server):
+        page = server.registry.render()
+        for name in (
+            "repro_worker_occupancy",
+            "repro_job_events_dropped_total",
+            "repro_sparse_steps_total",
+            "repro_dense_steps_total",
+            "repro_sparse_probe_failures_total",
+            "repro_store_lookup_hits_total",
+            "repro_store_lookup_misses_total",
+            "repro_store_lookup_hit_rate",
+        ):
+            assert f"# TYPE {name}" in page, name
+        # idle server: no running jobs, so occupancy scrapes as zero
+        assert "repro_worker_occupancy 0" in page
+
+    def test_concurrent_metrics_scrapes_stay_consistent(self, server):
+        """Satellite acceptance: parallel /metrics scrapes during a live job
+        always parse, histogram buckets stay cumulative-monotone and end at
+        the series count, and counters never go backwards."""
+        _, job = post_json(server.url + "/jobs", dict(SMOKE_JOB, iterations=3))
+        failures = []
+        done = threading.Event()
+        # label values may contain `{}` (route patterns like "/jobs/{id}"),
+        # so the label block is matched greedily to the last closing brace
+        sample_line = re.compile(
+            r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{.*\})? (?P<value>[0-9.e+-]+|\+Inf|NaN)$'
+        )
+
+        def scrape():
+            last_requests_total = {}
+            while not done.is_set():
+                try:
+                    with urllib.request.urlopen(server.url + "/metrics") as reply:
+                        page = reply.read().decode("utf-8")
+                    buckets = {}  # labels-without-le -> [counts in render order]
+                    counts = {}
+                    for line in page.strip().splitlines():
+                        if line.startswith("#"):
+                            continue
+                        match = sample_line.match(line)
+                        assert match, f"malformed sample line: {line!r}"
+                        name, labels = match.group("name"), match.group("labels") or ""
+                        if match.group("value") == "NaN":
+                            continue
+                        value = float(match.group("value").replace("+Inf", "inf"))
+                        if name == "repro_http_request_seconds_bucket":
+                            # drop the `le` label: what remains matches _count
+                            series = re.sub(r',?le="[^"]*"', "", labels).replace("{}", "")
+                            buckets.setdefault(series, []).append(value)
+                        elif name == "repro_http_request_seconds_count":
+                            counts[labels] = value
+                        elif name == "repro_http_requests_total":
+                            previous = last_requests_total.get(labels, 0.0)
+                            assert value >= previous, f"counter went backwards: {line!r}"
+                            last_requests_total[labels] = value
+                    for series, series_counts in buckets.items():
+                        assert series_counts == sorted(series_counts), (
+                            f"non-monotone buckets for {series}: {series_counts}"
+                        )
+                        assert series_counts[-1] == counts[series], (
+                            f"+Inf bucket disagrees with _count for {series}"
+                        )
+                except Exception as error:  # collected for the assert below
+                    failures.append(repr(error))
+                    return
+
+        threads = [threading.Thread(target=scrape) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            final = wait_terminal(server.url, job["id"])
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(10.0)
+        assert not failures, failures
+        assert final["state"] == "completed"
+        # a completed job did store lookups: the callback-backed counters moved
+        page = server.registry.render()
+        hit_line = [l for l in page.splitlines() if l.startswith("repro_store_lookup_misses_total")]
+        assert hit_line and float(hit_line[0].split()[-1]) >= 1.0
+
+
 class TestGracefulShutdown:
     def test_stop_during_active_job_drains_and_loses_no_rows(self, tmp_path):
         """Acceptance: SIGTERM-equivalent stop during a job — the job reaches
@@ -406,6 +531,35 @@ class TestMetricsRegistry:
         assert rendered == {"0.01": 2, "0.1": 3, "1": 4, "+Inf": 5}
         counts = [rendered["0.01"], rendered["0.1"], rendered["1"], rendered["+Inf"]]
         assert counts == sorted(counts)
+
+    def test_callback_backed_counter_tracks_aggregate_and_rejects_inc(self):
+        from repro.server.metrics import Counter
+
+        backing = {"total": 0.0}
+        counter = Counter("t_total", "test")
+        counter.set_function(lambda: backing["total"])
+        assert counter.value == 0.0
+        backing["total"] = 3.0
+        assert counter.value == 3.0
+        assert any(line.endswith(" 3") for line in counter.render())
+        # the two sourcing modes cannot be mixed
+        with pytest.raises(ValueError, match="callback-backed"):
+            counter.inc()
+
+    def test_counter_callback_failure_is_nan_and_recorded(self):
+        from repro.server.metrics import Counter
+
+        counter = Counter("t_broken_total", "test")
+
+        def explode() -> float:
+            raise RuntimeError("aggregate vanished")
+
+        counter.set_function(explode)
+        value = counter.value
+        assert value != value  # NaN
+        assert counter._unlabelled().last_error == "RuntimeError: aggregate vanished"
+        counter.set_function(lambda: 2.0)
+        assert counter.value == 2.0
 
     def test_gauge_callback_failure_is_nan_and_recorded(self):
         from repro.server.metrics import Gauge

@@ -15,6 +15,18 @@ process lifetime.  Two failure modes this rule blocks:
   variables) are flagged — a metric name built from user input is a series
   leak.  (Label *values* are bounded at call time by the registry's
   ``<unmatched>`` guard; this rule polices the declaration side.)
+
+The same hygiene extends to the tracing spans of :mod:`repro.trace`, which
+share the bounded-name-set contract (``repro trace`` groups by span name, so
+a dynamic name explodes the per-phase breakdown the way a dynamic metric name
+explodes a series set):
+
+* **dynamic span names**: the first argument of ``span(...)``/``ops_span(...)``
+  must be a string literal;
+* **spans opened outside ``with``**: a span whose call is not the context
+  expression of a ``with`` block has no guaranteed ``__exit__`` — an exception
+  between open and close corrupts the thread-local span stack for every
+  later span on that thread.
 """
 
 from __future__ import annotations
@@ -26,6 +38,9 @@ from tools.analyze.core import Finding, Module, Rule, register
 
 #: registry factory methods that create + register a metric
 FACTORY_METHODS = {"counter", "gauge", "histogram", "summary"}
+
+#: span factories from repro.trace subject to span hygiene
+SPAN_FACTORIES = {"span", "ops_span"}
 
 #: receiver names that mark the object as a metrics registry
 RECEIVER_MARKER = "registry"
@@ -57,12 +72,23 @@ def _literal_str(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and isinstance(node.value, str)
 
 
+def _is_span_call(call: ast.Call) -> bool:
+    """``span(...)`` / ``ops_span(...)``, bare or via a trace-ish receiver."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in SPAN_FACTORIES
+    if isinstance(func, ast.Attribute) and func.attr in SPAN_FACTORIES:
+        return "trace" in _receiver_name(func).lower()
+    return False
+
+
 @register
 class MetricsHygieneRule(Rule):
     name = "metrics-hygiene"
     description = (
         "metrics must be registered once (module scope or __init__) with a "
-        "literal name and a literal, bounded label-name set"
+        "literal name and a literal, bounded label-name set; tracing spans "
+        "must use literal names and open inside a with block"
     )
 
     def check(self, module: Module) -> Iterator[Finding]:
@@ -76,6 +102,38 @@ class MetricsHygieneRule(Rule):
                     "to module scope or __init__",
                 )
             yield from self._check_arguments(module, call)
+        yield from self._check_spans(module)
+
+    def _check_spans(self, module: Module) -> Iterator[Finding]:
+        with_contexts = {
+            id(item.context_expr)
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_span_call(node)):
+                continue
+            name_arg = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    name_arg = keyword.value
+            if name_arg is not None and not _literal_str(name_arg):
+                yield self.finding(
+                    module,
+                    name_arg,
+                    "span name must be a string literal: repro trace groups "
+                    "phases by name, so a dynamic name makes the breakdown "
+                    "unbounded (attach variability as span attributes instead)",
+                )
+            if id(node) not in with_contexts:
+                yield self.finding(
+                    module,
+                    node,
+                    "span opened outside a with block: without a guaranteed "
+                    "__exit__ an exception leaves the thread-local span stack "
+                    "corrupted for every later span on the thread",
+                )
 
     # ------------------------------------------------------------------
     def _registrations(self, tree: ast.AST) -> List[Tuple[ast.Call, bool]]:

@@ -10,7 +10,9 @@ substrate hot path regressed.  Two kinds of check:
   below the hard acceptance floors (the inference-mode LIF step and conv2d
   forward must stay at least 2x faster than the autograd path, and the
   event-driven sparse evaluation at firing rate 0.01 at least 2x faster
-  than the dense fast path);
+  than the dense fast path) — and the disabled-tracing overhead ratio must
+  stay under its hard ceiling (1.02x: span instrumentation may cost at most
+  2% of a whole-model evaluation while tracing is off);
 * **absolute timings** (``*_ms`` / ``ms``) are hardware-dependent — CI
   runners differ from the baseline machine — so by default they are only
   *reported*; pass ``--absolute`` to gate them too (useful when baseline and
@@ -38,6 +40,14 @@ MIN_SPEEDUPS: Dict[str, float] = {
     "conv2d_forward": 2.0,
     "lif_step": 2.0,
     "sparse_eval_rate_0.01": 2.0,
+}
+
+#: hard ceilings on dimensionless overhead ratios, keyed by flattened metric
+#: path: the span instrumentation must cost under 2% of a whole-model SNN
+#: evaluation while tracing is disabled (the default state).  Ceilings are
+#: checked against the current artifact only — they do not need a baseline.
+MAX_RATIOS: Dict[str, float] = {
+    "tracing_overhead.overhead_ratio": 1.02,
 }
 
 
@@ -71,6 +81,13 @@ def gate(
             failures.append(f"{key}: missing from the current artifact")
         elif value < floor:
             failures.append(f"{key}: {value:.2f}x is below the acceptance floor {floor:.1f}x")
+
+    for key, ceiling in MAX_RATIOS.items():
+        value = cur_flat.get(key)
+        if value is None:
+            failures.append(f"{key}: missing from the current artifact")
+        elif value > ceiling:
+            failures.append(f"{key}: {value:.4f}x exceeds the acceptance ceiling {ceiling:.2f}x")
 
     for key, base_value in sorted(base_flat.items()):
         if key not in cur_flat:

@@ -37,6 +37,7 @@ CHECKED_FILES = (
     "docs/caching.md",
     "docs/benchmarks.md",
     "docs/multi_objective.md",
+    "docs/observability.md",
     "docs/server.md",
 )
 
