@@ -475,20 +475,67 @@ def bench_tracing_overhead(repeats: int, num_steps: int = 5) -> Dict[str, float]
 
 
 def bench_bptt_step(repeats: int) -> Dict[str, float]:
-    """Absolute cost of one BPTT training step (no fast-path variant)."""
-    rng = np.random.default_rng(0)
-    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
-    model = template.build(spiking=True, rng=0)
-    runner = TemporalRunner(model, num_steps=5)
+    """One BPTT training step: recorded-graph autograd vs the fused kernel.
+
+    Before timing, one step runs on each path from identical initial state
+    (template ``build`` is deterministic under a fixed seed) and the loss, the
+    logits and every parameter gradient are asserted **bit-identical** — the
+    contract (see :mod:`repro.snn.fused_step`) that makes the two timings
+    comparable.
+    """
+    from repro.snn.fused_step import fused_training
+
     loss_fn = CrossEntropyLoss()
+    rng = np.random.default_rng(0)
     batch = rng.random((8, 2, 12, 12))
     targets = rng.integers(0, 10, size=8)
 
-    def step() -> None:
+    def build() -> TemporalRunner:
+        template = get_template(
+            "resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8)
+        )
+        return TemporalRunner(template.build(spiking=True, rng=0), num_steps=5)
+
+    def one_step(runner: TemporalRunner):
+        model = runner.model
         model.zero_grad()
+        logits = runner(batch)
+        loss = loss_fn(logits, targets)
+        loss.backward()
+        grads = {
+            name: None if p.grad is None else np.array(p.grad)
+            for name, p in model.named_parameters()
+        }
+        return float(loss.item()), np.array(logits.data), grads
+
+    with fused_training("off"):
+        graph_loss, graph_logits, graph_grads = one_step(build())
+    with fused_training("on"):
+        fused_loss, fused_logits, fused_grads = one_step(build())
+    assert graph_loss == fused_loss, "fused loss diverged from graph autograd"
+    assert np.array_equal(graph_logits, fused_logits), "fused logits diverged"
+    for name, reference in graph_grads.items():
+        candidate = fused_grads[name]
+        if reference is None or candidate is None:
+            assert reference is None and candidate is None, f"grad {name}: one path missing"
+            continue
+        assert np.array_equal(reference, candidate), f"fused grad {name} diverged"
+
+    runner = build()
+
+    def step() -> None:
+        runner.model.zero_grad()
         loss_fn(runner(batch), targets).backward()
 
-    return {"ms": _time(step, repeats) * 1e3}
+    with fused_training("off"):
+        autograd_s = _time(step, repeats)
+    with fused_training("on"):
+        fused_s = _time(step, repeats)
+    return {
+        "autograd_ms": autograd_s * 1e3,
+        "fused_ms": fused_s * 1e3,
+        "speedup": autograd_s / fused_s if fused_s > 0 else float("inf"),
+    }
 
 
 def format_report(payload: Dict[str, Dict[str, float]]) -> str:
@@ -500,7 +547,12 @@ def format_report(payload: Dict[str, Dict[str, float]]) -> str:
         lines.append(
             f"{case:>16} {row['autograd_ms']:>12.3f} {row['fast_ms']:>10.3f} {row['speedup']:>8.1f}x"
         )
-    lines.append(f"BPTT training step: {payload['bptt_step']['ms']:.1f} ms")
+    bptt = payload["bptt_step"]
+    lines.append(
+        f"BPTT training step: graph {bptt['autograd_ms']:.1f} ms vs "
+        f"fused {bptt['fused_ms']:.1f} ms ({bptt['speedup']:.2f}x, "
+        "loss/logits/grads bit-identical before timing)"
+    )
     lines.append("(fast-path outputs verified bit-identical to the autograd path before timing)")
     lines.append("")
     lines.append("Event-driven sparse eval vs dense fast path (bit-identical outputs)")

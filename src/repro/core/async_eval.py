@@ -69,8 +69,9 @@ class _TelemetryCall:
     Every pool submission is wrapped (the context is ``None`` while tracing is
     disabled): the worker runs the objective under
     :func:`~repro.trace.remote_activation` so its spans stitch under the
-    parent's open span, and ships back the spans plus its sparse-routing and
-    store-lookup counter deltas on ``result.telemetry`` — worker processes
+    parent's open span, and ships back the spans plus its sparse-routing,
+    fused-training and store-lookup counter deltas on ``result.telemetry`` —
+    worker processes
     bump their *own* process-wide tallies, which would otherwise be invisible
     to the parent's ``/metrics`` view.
     """
@@ -88,17 +89,26 @@ class _TelemetryCall:
         self.objective, self.context = state
 
     def __call__(self, spec: ArchitectureSpec) -> EvaluationResult:
+        # local import: the fused kernel module reaches the model zoo, which
+        # this core module must not pull in at import time
+        from repro.snn.fused_step import aggregate_fused_counters
+
         sparse_before = aggregate_sparse_counters()
+        fused_before = aggregate_fused_counters()
         store_before = store_counters()
         with remote_activation(self.context) as spans:
             result = self.objective(spec)
         sparse_after = aggregate_sparse_counters()
+        fused_after = aggregate_fused_counters()
         store_after = store_counters()
         result.telemetry = {
             "spans": spans,
             "counters": {
                 "sparse": {
                     key: sparse_after[key] - sparse_before.get(key, 0) for key in sparse_after
+                },
+                "fused": {
+                    key: fused_after[key] - fused_before.get(key, 0) for key in fused_after
                 },
                 "store": {
                     key: store_after[key] - store_before.get(key, 0) for key in store_after
@@ -115,12 +125,15 @@ def _absorb_telemetry(result: EvaluationResult) -> None:
     process-wide tallies; the payload is cleared afterwards so it can never
     leak into persisted rows or be re-absorbed.
     """
+    from repro.snn.fused_step import merge_fused_counters
+
     telemetry = result.telemetry
     if not telemetry:
         return
     absorb(telemetry.get("spans") or [])
     counters = telemetry.get("counters") or {}
     merge_sparse_counters(counters.get("sparse") or {})
+    merge_fused_counters(counters.get("fused") or {})
     merge_store_counters(counters.get("store") or {})
     result.telemetry = None
 

@@ -15,6 +15,10 @@ experiments rely on:
 * :mod:`repro.snn.temporal` — the time-loop runner that unrolls a stateful
   spiking model over ``num_steps`` and accumulates the readout (BPTT happens
   automatically through the recorded autodiff graph);
+* :mod:`repro.snn.fused_step` — fused temporal training kernels: one fused
+  forward stashing minimal residuals plus one hand-written reverse-time
+  adjoint, bit-identical to the recorded graph but without per-step graph
+  construction (dispatched automatically by :class:`TemporalRunner`);
 * :mod:`repro.snn.metrics` — firing-rate and spike-count monitors used for
   the energy analysis in Fig. 1 and Table I;
 * :mod:`repro.snn.mac` — multiply-accumulate (MAC) and synaptic-operation
@@ -48,6 +52,15 @@ from repro.snn.encoding import (
     SpikeEncoder,
 )
 from repro.snn.temporal import TemporalRunner, reset_states, run_temporal
+from repro.snn.fused_step import (
+    aggregate_fused_counters,
+    fused_counters,
+    fused_dispatch,
+    fused_mode,
+    fused_training,
+    merge_fused_counters,
+    reset_fused_counters,
+)
 from repro.snn.metrics import FiringRateMonitor, SpikeStatistics, average_firing_rate
 from repro.snn.mac import MACCounter, estimate_block_macs, estimate_energy, estimate_model_macs
 from repro.snn.conversion import convert_relu_to_lif, spiking_copy
@@ -80,6 +93,13 @@ __all__ = [
     "TemporalRunner",
     "reset_states",
     "run_temporal",
+    "fused_training",
+    "fused_dispatch",
+    "fused_mode",
+    "fused_counters",
+    "reset_fused_counters",
+    "aggregate_fused_counters",
+    "merge_fused_counters",
     "FiringRateMonitor",
     "SpikeStatistics",
     "average_firing_rate",

@@ -16,6 +16,7 @@ from typing import Dict, Type
 import numpy as np
 
 from repro.tensor import Tensor
+from repro.tensor.primitives import Primitive, apply as _apply, register
 from repro.tensor.tensor import ensure_tensor, graph_free, is_grad_enabled
 
 
@@ -114,6 +115,46 @@ def get_surrogate(name_or_instance, **kwargs) -> SurrogateGradient:
     return _REGISTRY[name](**kwargs)
 
 
+def _spike_fwd(membrane, want_ctx=False, *, threshold, surrogate):
+    shifted = membrane - threshold
+    spikes = (shifted >= 0.0).astype(membrane.dtype)
+    if not want_ctx:
+        return spikes, None
+    return spikes, (surrogate.derivative(shifted),)
+
+
+def _spike_vjp(ctx, g, needs, *, threshold, surrogate):
+    (pseudo_derivative,) = ctx
+    return ((g * pseudo_derivative) if needs[0] else None,)
+
+
+def _spike_jvp(ctx, tangents, *, threshold, surrogate):
+    (pseudo_derivative,) = ctx
+    return pseudo_derivative * tangents[0]
+
+
+def _spike_sample(rng, dtype):
+    return (rng.standard_normal((3, 4)).astype(dtype, copy=False) + 1.0,), {
+        "threshold": 1.0,
+        "surrogate": FastSigmoidSurrogate(),
+    }
+
+
+#: the surrogate spike is *deliberately* not the true derivative of its
+#: Heaviside forward (that derivative is zero a.e.), so finite differences
+#: must not be checked against it — only jvp/vjp mutual consistency.
+SPIKE = register(
+    Primitive(
+        "spike",
+        forward=_spike_fwd,
+        vjp=_spike_vjp,
+        jvp=_spike_jvp,
+        samples=[_spike_sample],
+        fd_exempt=True,
+    )
+)
+
+
 def spike_function(membrane, threshold: float, surrogate: SurrogateGradient) -> Tensor:
     """Heaviside spike with a surrogate derivative.
 
@@ -121,17 +162,6 @@ def spike_function(membrane, threshold: float, surrogate: SurrogateGradient) -> 
     Backward: ``dL/d(membrane) = dL/dS * surrogate.derivative(membrane - threshold)``.
     """
     membrane = ensure_tensor(membrane)
-    shifted = membrane.data - threshold
-    spikes = (shifted >= 0.0).astype(membrane.data.dtype)
-
     if not (is_grad_enabled() and membrane.requires_grad):
-        return graph_free(spikes)
-
-    out = Tensor(spikes, requires_grad=True, _prev=(membrane,))
-    pseudo_derivative = surrogate.derivative(shifted)
-
-    def _backward() -> None:
-        membrane.accumulate_grad(out.grad * pseudo_derivative)
-
-    out._backward = _backward
-    return out
+        return graph_free((membrane.data - threshold >= 0.0).astype(membrane.data.dtype))
+    return _apply(SPIKE, (membrane,), threshold=threshold, surrogate=surrogate)

@@ -187,6 +187,15 @@ class TemporalRunner(Module):
 
     def forward(self, batch) -> Tensor:
         data = batch.data if isinstance(batch, Tensor) else batch
+        if is_grad_enabled():
+            # fused BPTT fast path: one hand-written adjoint over the whole
+            # unrolled step instead of a recorded graph (local import — the
+            # kernel module pulls in the model zoo, which this module must not)
+            from repro.snn.fused_step import fused_dispatch
+
+            fused = fused_dispatch(self, data)
+            if fused is not None:
+                return fused
         return run_temporal(
             self.model,
             data,

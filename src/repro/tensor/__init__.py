@@ -7,8 +7,12 @@ this environment we implement the required machinery from scratch:
 
 * :class:`repro.tensor.Tensor` — an n-dimensional array with a ``grad`` buffer
   and a recorded backward graph (define-by-run, reverse-mode).
+* :mod:`repro.tensor.primitives` — the primitive IR: a registry declaring
+  every op's forward, vjp and jvp explicitly, shared by the graph autograd
+  (the reference) and the fused temporal training kernels.
 * :mod:`repro.tensor.ops` — differentiable primitives (arithmetic, matmul,
-  reductions, reshaping, concatenation, indexing, nonlinearities).
+  reductions, reshaping, concatenation, indexing, nonlinearities), expressed
+  on the primitive IR.
 * :mod:`repro.tensor.conv` — im2col-based 2-D convolution and pooling with
   hand-written backward passes (the hot path of every experiment).
 * :mod:`repro.tensor.gradcheck` — finite-difference gradient checking used by
@@ -73,7 +77,8 @@ from repro.tensor.ops import (
     where,
 )
 from repro.tensor.conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
-from repro.tensor.gradcheck import gradcheck, numerical_gradient
+from repro.tensor.gradcheck import check_primitive, gradcheck, numerical_gradient
+from repro.tensor.primitives import Primitive, all_primitives, apply, get_primitive, register
 from repro.tensor.random import default_rng, seed_everything
 
 __all__ = [
@@ -129,7 +134,13 @@ __all__ = [
     "global_avg_pool2d",
     "max_pool2d",
     "gradcheck",
+    "check_primitive",
     "numerical_gradient",
+    "Primitive",
+    "register",
+    "get_primitive",
+    "all_primitives",
+    "apply",
     "default_rng",
     "seed_everything",
 ]

@@ -32,6 +32,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from repro.tensor.primitives import Primitive, apply as _apply, register
 from repro.tensor.sparse import conv_dispatch, sparse_conv2d
 from repro.tensor.tensor import Tensor, ensure_tensor, graph_free, is_grad_enabled
 from repro.trace import ops_span
@@ -66,13 +67,26 @@ def conv_output_shape(
     return out_h, out_w
 
 
+def _strided_view(arr: np.ndarray, shape: Tuple[int, ...], strides: Tuple[int, ...]) -> np.ndarray:
+    """A read-only overlapping view, built the cheapest way the layout allows.
+
+    The ``np.ndarray`` buffer constructor skips ``as_strided``'s interface
+    round-trip (several µs per call, and the training kernels build hundreds
+    of these views per step) but only accepts contiguous buffers; irregular
+    layouts — transposed channel-major stashes — fall back.
+    """
+    if arr.flags["C_CONTIGUOUS"]:
+        return np.ndarray(shape, dtype=arr.dtype, buffer=arr, strides=strides)
+    return as_strided(arr, shape=shape, strides=strides, writeable=False)
+
+
 def _im2col_view(padded: np.ndarray, kh: int, kw: int, sh: int, sw: int, out_h: int, out_w: int) -> np.ndarray:
     """Return a (N, C, KH, KW, OH, OW) strided view of the padded input."""
     n, c, _, _ = padded.shape
     stride_n, stride_c, stride_h, stride_w = padded.strides
     shape = (n, c, kh, kw, out_h, out_w)
     strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
-    return as_strided(padded, shape=shape, strides=strides, writeable=False)
+    return _strided_view(padded, shape, strides)
 
 
 def _col2im(
@@ -152,10 +166,10 @@ def _conv2d_infer(
         padded = x
     stride_n, stride_c, stride_h, stride_w = padded.strides
     # grouped im2col view (G, Cg, KH, KW, N, OH, OW) — contraction axes lead
-    view = as_strided(
+    view = _strided_view(
         padded,
-        shape=(groups, c_in_per_group, kh, kw, n, out_h, out_w),
-        strides=(
+        (groups, c_in_per_group, kh, kw, n, out_h, out_w),
+        (
             stride_c * c_in_per_group,
             stride_c,
             stride_h,
@@ -164,7 +178,6 @@ def _conv2d_infer(
             stride_h * sh,
             stride_w * sw,
         ),
-        writeable=False,
     )
     m = n * out_h * out_w
     cols, _ = workspace("conv2d.cols", (groups, c_in_per_group * kh * kw, m), x.dtype)
@@ -181,6 +194,229 @@ def _conv2d_infer(
         if bias is not None:
             out += bias.reshape(groups, out_per_group, 1)
     return out.reshape(c_out, n, out_h, out_w).transpose(1, 0, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# primitives: conv2d / max_pool2d / avg_pool2d
+# ---------------------------------------------------------------------------
+
+def _conv2d_fwd(*arrays, want_ctx=False, stride, padding, groups):
+    x, weight = arrays[0], arrays[1]
+    bias = arrays[2] if len(arrays) > 2 else None
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+    if ph or pw:
+        padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        padded = x
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    # (N, G, Cg, KH, KW, OH, OW) x (G, Og, Cg, KH, KW) -> (N, G, Og, OH, OW)
+    col_g = col.reshape(n, groups, c_in_per_group, kh, kw, out_h, out_w)
+    w_g = weight.reshape(groups, c_out // groups, c_in_per_group, kh, kw)
+    out = np.einsum("ngcuvhw,gocuv->ngohw", col_g, w_g, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, c_out, 1, 1)
+    if not want_ctx:
+        return out, None
+    geometry = (n, c_in, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w, c_out, weight.shape)
+    return out, (col_g, w_g, geometry)
+
+
+def _conv2d_vjp(ctx, g, needs, *, stride, padding, groups):
+    col_g, w_g, geometry = ctx
+    n, c_in, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w, c_out, weight_shape = geometry
+    grads = [None] * len(needs)
+    out_per_group = c_out // groups
+    cpg = c_in // groups
+    m = out_h * out_w
+    grad_out = g.reshape(n, groups, out_per_group, out_h, out_w)
+    go_mat = grad_out.reshape(n, groups, out_per_group, m)
+    if needs[1]:
+        # batched GEMM over (N, G) then a pairwise sum over the batch — an
+        # order of magnitude faster than the equivalent einsum contraction at
+        # the small per-layer sizes BPTT sweeps over
+        col_mat = col_g.reshape(n, groups, cpg * kh * kw, m)
+        grad_w = np.matmul(go_mat, col_mat.swapaxes(-1, -2)).sum(axis=0)
+        grads[1] = grad_w.reshape(weight_shape)
+    if len(needs) > 2 and needs[2]:
+        grads[2] = g.sum(axis=(0, 2, 3))
+    if needs[0]:
+        if sh == 1 and sw == 1:
+            # stride-1 input gradient as one GEMM: correlate the zero-padded
+            # output gradient with the spatially flipped, channel-transposed
+            # weight — no column gradient, no overlapping scatter-add
+            wf = w_g[:, :, :, ::-1, ::-1].transpose(0, 2, 1, 3, 4)
+            wf = np.ascontiguousarray(wf).reshape(c_in, out_per_group, kh, kw)
+            grad_pad = _conv2d_infer(
+                grad_out.reshape(n, c_out, out_h, out_w),
+                wf, None, groups, 1, 1, kh - 1, kw - 1, h + 2 * ph, w + 2 * pw,
+            )
+            grads[0] = grad_pad[:, :, ph : ph + h, pw : pw + w]
+        else:
+            grad_col = np.matmul(
+                w_g.reshape(groups, out_per_group, cpg * kh * kw).swapaxes(-1, -2), go_mat
+            )
+            grad_col = grad_col.reshape(n, c_in, kh, kw, out_h, out_w)
+            grads[0] = _col2im(grad_col, (n, c_in, h, w), kh, kw, sh, sw, ph, pw)
+    return tuple(grads)
+
+
+def _conv2d_jvp(ctx, tangents, *, stride, padding, groups):
+    col_g, w_g, geometry = ctx
+    n, c_in, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w, c_out, weight_shape = geometry
+    tx, tw = tangents[0], tangents[1]
+    c_in_per_group = weight_shape[1]
+    if ph or pw:
+        t_padded = np.pad(tx, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        t_padded = tx
+    t_col = _im2col_view(t_padded, kh, kw, sh, sw, out_h, out_w)
+    t_col_g = t_col.reshape(n, groups, c_in_per_group, kh, kw, out_h, out_w)
+    tw_g = tw.reshape(groups, c_out // groups, c_in_per_group, kh, kw)
+    out = np.einsum("ngcuvhw,gocuv->ngohw", t_col_g, w_g, optimize=True)
+    out = out + np.einsum("ngcuvhw,gocuv->ngohw", col_g, tw_g, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if len(tangents) > 2:
+        out = out + tangents[2].reshape(1, c_out, 1, 1)
+    return out
+
+
+def _conv2d_sample(shapes, **params):
+    def make(rng, dtype):
+        inputs = tuple(rng.standard_normal(shape).astype(dtype, copy=False) for shape in shapes)
+        return inputs, dict(params)
+
+    return make
+
+
+CONV2D = register(
+    Primitive(
+        "conv2d",
+        forward=_conv2d_fwd,
+        vjp=_conv2d_vjp,
+        jvp=_conv2d_jvp,
+        samples=[
+            _conv2d_sample(
+                [(2, 3, 5, 5), (4, 3, 3, 3), (4,)], stride=(1, 1), padding=(1, 1), groups=1
+            ),
+            _conv2d_sample([(2, 3, 6, 6), (4, 3, 3, 3)], stride=(2, 2), padding=(0, 0), groups=1),
+            _conv2d_sample(
+                [(2, 4, 5, 5), (6, 2, 3, 3), (6,)], stride=(1, 1), padding=(1, 1), groups=2
+            ),
+        ],
+    )
+)
+
+
+def _max_pool2d_fwd(x, want_ctx=False, *, kernel, stride, padding):
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+    if ph or pw:
+        padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf)
+    else:
+        padded = x
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    col_flat = col.reshape(n, c, kh * kw, out_h, out_w)
+    arg = col_flat.argmax(axis=2)
+    out = np.take_along_axis(col_flat, arg[:, :, None], axis=2)[:, :, 0]
+    if not want_ctx:
+        return out, None
+    return out, (arg, (n, c, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w))
+
+
+def _max_pool2d_vjp(ctx, g, needs, *, kernel, stride, padding):
+    if not needs[0]:
+        return (None,)
+    arg, (n, c, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w) = ctx
+    grad_col = np.zeros((n, c, kh * kw, out_h, out_w), dtype=np.float64)
+    np.put_along_axis(grad_col, arg[:, :, None], g[:, :, None], axis=2)
+    grad_col = grad_col.reshape(n, c, kh, kw, out_h, out_w)
+    return (_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw),)
+
+
+def _max_pool2d_jvp(ctx, tangents, *, kernel, stride, padding):
+    arg, (n, c, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w) = ctx
+    tx = tangents[0]
+    if ph or pw:
+        t_padded = np.pad(tx, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        t_padded = tx
+    t_col = _im2col_view(t_padded, kh, kw, sh, sw, out_h, out_w)
+    t_flat = t_col.reshape(n, c, kh * kw, out_h, out_w)
+    return np.take_along_axis(t_flat, arg[:, :, None], axis=2)[:, :, 0]
+
+
+def _pool_sample(shape, **params):
+    def make(rng, dtype):
+        return (rng.standard_normal(shape).astype(dtype, copy=False),), dict(params)
+
+    return make
+
+
+MAX_POOL2D = register(
+    Primitive(
+        "max_pool2d",
+        forward=_max_pool2d_fwd,
+        vjp=_max_pool2d_vjp,
+        jvp=_max_pool2d_jvp,
+        samples=[
+            _pool_sample((2, 3, 6, 6), kernel=(2, 2), stride=(2, 2), padding=(0, 0)),
+            _pool_sample((2, 3, 5, 5), kernel=(3, 3), stride=(2, 2), padding=(1, 1)),
+        ],
+    )
+)
+
+
+def _avg_pool2d_fwd(x, want_ctx=False, *, kernel, stride, padding):
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), (sh, sw), (ph, pw))
+    if ph or pw:
+        padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    else:
+        padded = x
+    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
+    out = col.mean(axis=(2, 3))
+    return out, ((n, c, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w) if want_ctx else None)
+
+
+def _avg_pool2d_vjp(ctx, g, needs, *, kernel, stride, padding):
+    if not needs[0]:
+        return (None,)
+    n, c, h, w, kh, kw, sh, sw, ph, pw, out_h, out_w = ctx
+    scale = 1.0 / (kh * kw)
+    grad_col = np.broadcast_to(g[:, :, None, None] * scale, (n, c, kh, kw, out_h, out_w)).astype(
+        np.float64
+    )
+    return (_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw),)
+
+
+def _avg_pool2d_jvp(ctx, tangents, *, kernel, stride, padding):
+    out, _ = _avg_pool2d_fwd(tangents[0], kernel=kernel, stride=stride, padding=padding)
+    return out
+
+
+AVG_POOL2D = register(
+    Primitive(
+        "avg_pool2d",
+        forward=_avg_pool2d_fwd,
+        vjp=_avg_pool2d_vjp,
+        jvp=_avg_pool2d_jvp,
+        samples=[
+            _pool_sample((2, 3, 6, 6), kernel=(2, 2), stride=(2, 2), padding=(0, 0)),
+            _pool_sample((2, 3, 5, 5), kernel=(3, 3), stride=(2, 2), padding=(1, 1)),
+        ],
+    )
+)
 
 
 def conv2d(
@@ -248,35 +484,7 @@ def conv2d(
                 _conv2d_infer(x.data, weight.data, bias_data, groups, sh, sw, ph, pw, out_h, out_w)
             )
 
-    if ph or pw:
-        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    else:
-        padded = x.data
-    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
-    # (N, G, Cg, KH, KW, OH, OW) x (G, Og, Cg, KH, KW) -> (N, G, Og, OH, OW)
-    col_g = col.reshape(n, groups, c_in_per_group, kh, kw, out_h, out_w)
-    w_g = weight.data.reshape(groups, c_out // groups, c_in_per_group, kh, kw)
-    out = np.einsum("ngcuvhw,gocuv->ngohw", col_g, w_g, optimize=True)
-    out = out.reshape(n, c_out, out_h, out_w)
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
-
-    result = Tensor(out, requires_grad=True, _prev=parents)
-
-    def _backward() -> None:
-        grad_out = result.grad.reshape(n, groups, c_out // groups, out_h, out_w)
-        if weight.requires_grad:
-            grad_w = np.einsum("ngcuvhw,ngohw->gocuv", col_g, grad_out, optimize=True)
-            weight.accumulate_grad(grad_w.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias.accumulate_grad(result.grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            grad_col = np.einsum("gocuv,ngohw->ngcuvhw", w_g, grad_out, optimize=True)
-            grad_col = grad_col.reshape(n, c_in, kh, kw, out_h, out_w)
-            x.accumulate_grad(_col2im(grad_col, (n, c_in, h, w), kh, kw, sh, sw, ph, pw))
-
-    result._backward = _backward
-    return result
+    return _apply(CONV2D, parents, stride=(sh, sw), padding=(ph, pw), groups=groups)
 
 
 def max_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: IntOrPair = 0) -> Tensor:
@@ -300,25 +508,7 @@ def max_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: Int
         col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
         return graph_free(col.max(axis=(2, 3)))
 
-    if ph or pw:
-        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), constant_values=-np.inf)
-    else:
-        padded = x.data
-    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
-    col_flat = col.reshape(n, c, kh * kw, out_h, out_w)
-    arg = col_flat.argmax(axis=2)
-    out = np.take_along_axis(col_flat, arg[:, :, None], axis=2)[:, :, 0]
-
-    result = Tensor(out, requires_grad=True, _prev=(x,))
-
-    def _backward() -> None:
-        grad_col = np.zeros((n, c, kh * kw, out_h, out_w), dtype=np.float64)
-        np.put_along_axis(grad_col, arg[:, :, None], result.grad[:, :, None], axis=2)
-        grad_col = grad_col.reshape(n, c, kh, kw, out_h, out_w)
-        x.accumulate_grad(_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw))
-
-    result._backward = _backward
-    return result
+    return _apply(MAX_POOL2D, (x,), kernel=(kh, kw), stride=(sh, sw), padding=(ph, pw))
 
 
 def avg_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: IntOrPair = 0) -> Tensor:
@@ -340,24 +530,7 @@ def avg_pool2d(x, kernel_size: IntOrPair, stride: IntOrPair = None, padding: Int
         col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
         return graph_free(col.mean(axis=(2, 3)))
 
-    if ph or pw:
-        padded = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    else:
-        padded = x.data
-    col = _im2col_view(padded, kh, kw, sh, sw, out_h, out_w)
-    out = col.mean(axis=(2, 3))
-
-    result = Tensor(out, requires_grad=True, _prev=(x,))
-
-    def _backward() -> None:
-        scale = 1.0 / (kh * kw)
-        grad_col = np.broadcast_to(
-            result.grad[:, :, None, None] * scale, (n, c, kh, kw, out_h, out_w)
-        ).astype(np.float64)
-        x.accumulate_grad(_col2im(grad_col, (n, c, h, w), kh, kw, sh, sw, ph, pw))
-
-    result._backward = _backward
-    return result
+    return _apply(AVG_POOL2D, (x,), kernel=(kh, kw), stride=(sh, sw), padding=(ph, pw))
 
 
 def global_avg_pool2d(x) -> Tensor:

@@ -1,4 +1,4 @@
-"""Finite-difference gradient checking.
+"""Finite-difference gradient checking and the registry-driven harness.
 
 Used throughout the test-suite to validate every differentiable primitive and
 layer against a central-difference approximation.  The check is the standard
@@ -6,11 +6,27 @@ layer against a central-difference approximation.  The check is the standard
     (f(x + eps) - f(x - eps)) / (2 * eps)
 
 applied element by element to each input that requires gradients.
+
+:func:`check_primitive` extends this into a differential harness over the
+primitive IR (:mod:`repro.tensor.primitives`): every registered
+:class:`~repro.tensor.primitives.Primitive` carries sample inputs, and for
+each sample the harness runs
+
+* a finite-difference check of the declared vjp (float64 only — central
+  differences are meaningless at float32 precision), skipped for primitives
+  marked ``fd_exempt`` (the surrogate spike, whose vjp is deliberately not
+  the derivative of its Heaviside forward);
+* a jvp/vjp dot-product consistency check: for random cotangent ``w`` and
+  tangents ``v``, ``<w, J v>`` computed by the jvp must equal
+  ``sum_i <(J^T w)_i, v_i>`` computed by the vjp — the two declared linear
+  maps must be mutual transposes;
+* at float32, a forward/vjp comparison against the float64 reference under
+  the pinned tolerance contract (:mod:`repro.tensor.tolerance`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,3 +104,108 @@ def gradcheck(
         if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
             ok = False
     return ok, max_error
+
+
+def _fd_vjp_check(primitive, inputs, params, eps, atol, rtol) -> float:
+    """Central-difference check of the declared vjp on ``sum(forward)``."""
+    out, ctx = primitive.forward(*inputs, want_ctx=True, **params)
+    needs = tuple(True for _ in inputs)
+    grads = primitive.vjp(ctx, np.ones_like(out, dtype=np.float64), needs, **params)
+    max_error = 0.0
+    for index, analytic in enumerate(grads):
+        probe = [np.array(arr, dtype=np.float64) for arr in inputs]
+        numeric = np.zeros(probe[index].shape, dtype=np.float64)
+        flat = probe[index].reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(primitive.forward(*probe, **params)[0].sum())
+            flat[i] = original - eps
+            minus = float(primitive.forward(*probe, **params)[0].sum())
+            flat[i] = original
+            numeric_flat[i] = (plus - minus) / (2.0 * eps)
+        error = np.abs(np.asarray(analytic, dtype=np.float64) - numeric)
+        max_error = max(max_error, float(error.max()) if error.size else 0.0)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"primitive {primitive.name!r} input {index}: vjp disagrees with "
+                f"finite differences (max abs error {error.max():.3e})"
+            )
+    return max_error
+
+
+def _dot_consistency_check(primitive, inputs, params, rng, rtol, atol) -> None:
+    """``<w, J v>`` via the jvp must equal ``sum_i <(J^T w)_i, v_i>`` via the vjp."""
+    out, ctx = primitive.forward(*inputs, want_ctx=True, **params)
+    cotangent = rng.standard_normal(out.shape)
+    tangents = tuple(rng.standard_normal(arr.shape) for arr in inputs)
+    out_tangent = primitive.jvp(ctx, tangents, **params)
+    needs = tuple(True for _ in inputs)
+    grads = primitive.vjp(ctx, cotangent, needs, **params)
+    lhs = float((cotangent * out_tangent).sum())
+    rhs = 0.0
+    for grad, tangent in zip(grads, tangents):
+        rhs += float((np.asarray(grad, dtype=np.float64) * tangent).sum())
+    if not np.isclose(lhs, rhs, rtol=rtol, atol=atol):
+        raise AssertionError(
+            f"primitive {primitive.name!r}: jvp/vjp dot products disagree "
+            f"(<w, Jv>={lhs:.9g} vs <J^T w, v>={rhs:.9g})"
+        )
+
+
+def check_primitive(
+    primitive,
+    rng: Optional[np.random.Generator] = None,
+    dtype=np.float64,
+    eps: float = 1e-5,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> int:
+    """Run the registry-driven differential checks over a primitive's samples.
+
+    Returns the number of samples checked (so callers can assert coverage).
+    Raises :class:`AssertionError` on the first violated check.
+    """
+    from repro.tensor.tolerance import assert_float32_contract
+
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if not primitive.samples:
+        raise ValueError(f"primitive {primitive.name!r} declares no samples to check")
+    dtype = np.dtype(dtype)
+    checked = 0
+    for sample in primitive.samples:
+        inputs, params = sample(rng, dtype.type)
+        if dtype == np.float64:
+            if not primitive.fd_exempt:
+                _fd_vjp_check(primitive, inputs, params, eps, atol, rtol)
+            _dot_consistency_check(primitive, inputs, params, rng, rtol=1e-8, atol=1e-10)
+        else:
+            # float32: compare forward and vjp against the float64 reference
+            # under the pinned tolerance contract; the accumulation length is
+            # bounded above by the largest input extent
+            inputs64 = tuple(np.asarray(arr, dtype=np.float64) for arr in inputs)
+            out32, ctx32 = primitive.forward(*inputs, want_ctx=True, **params)
+            out64, ctx64 = primitive.forward(*inputs64, want_ctx=True, **params)
+            length = max(int(arr.size) for arr in inputs) if inputs else 1
+            assert_float32_contract(
+                np.asarray(out32, dtype=np.float64),
+                out64,
+                accumulation_length=length,
+                context=f"primitive {primitive.name} forward",
+            )
+            cotangent = rng.standard_normal(out64.shape)
+            needs = tuple(True for _ in inputs)
+            grads32 = primitive.vjp(ctx32, cotangent.astype(dtype.type), needs, **params)
+            grads64 = primitive.vjp(ctx64, cotangent, needs, **params)
+            for index, (g32, g64) in enumerate(zip(grads32, grads64)):
+                assert_float32_contract(
+                    np.asarray(g32, dtype=np.float64),
+                    np.asarray(g64, dtype=np.float64),
+                    accumulation_length=length,
+                    context=f"primitive {primitive.name} vjp input {index}",
+                )
+            _dot_consistency_check(primitive, inputs, params, rng, rtol=1e-2, atol=1e-4)
+        checked += 1
+    return checked

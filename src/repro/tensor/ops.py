@@ -1,52 +1,44 @@
-"""Differentiable primitives operating on :class:`repro.tensor.Tensor`.
+"""Differentiable ops on :class:`repro.tensor.Tensor`, on the primitive IR.
 
 Every function here follows the same pattern:
 
-1. run the vectorised NumPy forward computation;
-2. if gradients are enabled and at least one input requires them, attach a
-   ``_backward`` closure that maps the output gradient to input gradients and
-   accumulates them in place;
-3. otherwise take the **graph-free fast path**: return the raw result through
-   :func:`repro.tensor.tensor.graph_free`, skipping closure construction,
-   parent bookkeeping and every intermediate (masks, argmax maps, inverse
-   permutations) that only the backward pass would read.
+1. coerce operands and check whether the backward graph must be recorded;
+2. on the **graph-free fast path** run the forward NumPy computation inline
+   and return through :func:`repro.tensor.tensor.graph_free`, skipping parent
+   bookkeeping and every intermediate (masks, argmax maps, inverse
+   permutations) that only the backward pass would read;
+3. otherwise dispatch to :func:`repro.tensor.primitives.apply`, which runs
+   the registered :class:`~repro.tensor.primitives.Primitive`'s forward with
+   residual capture and wires its explicit vjp into the tape.
 
 The fast path is what the evaluation substrate runs on: an SNN validation
 pass under :func:`~repro.tensor.tensor.no_grad` executes thousands of these
 ops per batch (one per op per layer per time step), so the per-op constant
-matters as much as the kernels themselves.  The closures of the slow path
-capture only what they need (typically the input data arrays or cheap masks),
-keeping memory pressure manageable for BPTT-unrolled spiking networks.
+matters as much as the kernels themselves.  The tracked path is the
+*reference* implementation of each op's derivative: the fused temporal
+training kernels (:mod:`repro.snn.fused_step`) reuse the same registered
+vjp formulas outside the tape and are pinned bit-for-bit against this path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.tensor import primitives as P
+from repro.tensor.primitives import apply as _apply
 from repro.tensor.sparse import matmul_dispatch, sparse_matmul
 from repro.trace import ops_span
 from repro.tensor.tensor import (
     Tensor,
     _as_array,
-    _unbroadcast,
     ensure_tensor,
     graph_free,
     is_grad_enabled,
 )
 
 Axis = Union[None, int, Tuple[int, ...]]
-
-
-def _make(data: np.ndarray, parents: Sequence[Tensor], backward) -> Tensor:
-    """Build an output tensor, wiring the graph only when grad is required."""
-    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-    if not requires:
-        return graph_free(data)
-    out = Tensor(data, requires_grad=True, _prev=[p for p in parents if p.requires_grad or p._prev])
-    out._backward = backward(out)
-    return out
 
 
 def _tracked(a: Tensor, b: Optional[Tensor] = None) -> bool:
@@ -81,111 +73,49 @@ def _ensure_pair(a, b) -> Tuple[Tensor, Tensor]:
 def add(a, b) -> Tensor:
     """Elementwise/broadcasted addition."""
     a, b = _ensure_pair(a, b)
-    data = a.data + b.data
     if not _tracked(a, b):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(out.grad, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(a.data + b.data)
+    return _apply(P.ADD, (a, b))
 
 
 def sub(a, b) -> Tensor:
     """Elementwise/broadcasted subtraction ``a - b``."""
     a, b = _ensure_pair(a, b)
-    data = a.data - b.data
     if not _tracked(a, b):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(-out.grad, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(a.data - b.data)
+    return _apply(P.SUB, (a, b))
 
 
 def mul(a, b) -> Tensor:
     """Elementwise/broadcasted multiplication."""
     a, b = _ensure_pair(a, b)
-    data = a.data * b.data
     if not _tracked(a, b):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad * b.data, a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(out.grad * a.data, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(a.data * b.data)
+    return _apply(P.MUL, (a, b))
 
 
 def div(a, b) -> Tensor:
     """Elementwise/broadcasted division ``a / b``."""
     a, b = _ensure_pair(a, b)
-    data = a.data / b.data
     if not _tracked(a, b):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad / b.data, a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(-out.grad * a.data / (b.data ** 2), b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(a.data / b.data)
+    return _apply(P.DIV, (a, b))
 
 
 def neg(a) -> Tensor:
     """Elementwise negation."""
     a = ensure_tensor(a)
-    data = -a.data
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(-out.grad)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(-a.data)
+    return _apply(P.NEG, (a,))
 
 
 def power(a, exponent: float) -> Tensor:
     """Elementwise power with a constant exponent."""
     a = ensure_tensor(a)
-    data = a.data ** exponent
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * exponent * a.data ** (exponent - 1))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data ** exponent)
+    return _apply(P.POWER, (a,), exponent=exponent)
 
 
 def matmul(a, b) -> Tensor:
@@ -208,20 +138,7 @@ def matmul(a, b) -> Tensor:
             if events is not None:
                 return graph_free(sparse_matmul(a.data.shape, b.data, events))
             return graph_free(a.data @ b.data)
-    data = a.data @ b.data
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                grad_a = out.grad @ np.swapaxes(b.data, -1, -2)
-                a.accumulate_grad(_unbroadcast(grad_a, a.shape))
-            if b.requires_grad:
-                grad_b = np.swapaxes(a.data, -1, -2) @ out.grad
-                b.accumulate_grad(_unbroadcast(grad_b, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+    return _apply(P.MATMUL, (a, b))
 
 
 # ---------------------------------------------------------------------------
@@ -231,172 +148,75 @@ def matmul(a, b) -> Tensor:
 def exp(a) -> Tensor:
     """Elementwise exponential."""
     a = ensure_tensor(a)
-    data = np.exp(a.data)
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * out.data)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.exp(a.data))
+    return _apply(P.EXP, (a,))
 
 
 def log(a) -> Tensor:
     """Elementwise natural logarithm."""
     a = ensure_tensor(a)
-    data = np.log(a.data)
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad / a.data)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.log(a.data))
+    return _apply(P.LOG, (a,))
 
 
 def tanh(a) -> Tensor:
     """Elementwise hyperbolic tangent."""
     a = ensure_tensor(a)
-    data = np.tanh(a.data)
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * (1.0 - out.data ** 2))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.tanh(a.data))
+    return _apply(P.TANH, (a,))
 
 
 def sigmoid(a) -> Tensor:
     """Numerically stable elementwise logistic sigmoid."""
     a = ensure_tensor(a)
-    x = a.data
-    data = np.empty_like(x)
-    pos = x >= 0
-    data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    data[~pos] = ex / (1.0 + ex)
     if not _tracked(a):
+        data, _ = P.SIGMOID.forward(a.data)
         return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * out.data * (1.0 - out.data))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+    return _apply(P.SIGMOID, (a,))
 
 
 def relu(a) -> Tensor:
     """Elementwise rectified linear unit."""
     a = ensure_tensor(a)
-    mask = a.data > 0
-    data = a.data * mask
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * mask)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data * (a.data > 0))
+    return _apply(P.RELU, (a,))
 
 
 def clip(a, low: float, high: float) -> Tensor:
     """Clamp values to ``[low, high]``; gradient is zero outside the range."""
     a = ensure_tensor(a)
-    data = np.clip(a.data, low, high)
     if not _tracked(a):
-        return graph_free(data)
-    mask = (a.data >= low) & (a.data <= high)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * mask)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.clip(a.data, low, high))
+    return _apply(P.CLIP, (a,), low=low, high=high)
 
 
 def maximum(a, b) -> Tensor:
     """Elementwise maximum; gradient routed to the winning input (ties split)."""
     a, b = _ensure_pair(a, b)
-    data = np.maximum(a.data, b.data)
     if not _tracked(a, b):
-        return graph_free(data)
-    a_wins = a.data > b.data
-    tie = a.data == b.data
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad * (a_wins + 0.5 * tie), a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(out.grad * (~a_wins & ~tie) + out.grad * 0.5 * tie, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(np.maximum(a.data, b.data))
+    return _apply(P.MAXIMUM, (a, b))
 
 
 def minimum(a, b) -> Tensor:
     """Elementwise minimum; gradient routed to the winning input (ties split)."""
     a, b = _ensure_pair(a, b)
-    data = np.minimum(a.data, b.data)
     if not _tracked(a, b):
-        return graph_free(data)
-    a_wins = a.data < b.data
-    tie = a.data == b.data
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad * (a_wins + 0.5 * tie), a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(out.grad * (~a_wins & ~tie) + out.grad * 0.5 * tie, b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(np.minimum(a.data, b.data))
+    return _apply(P.MINIMUM, (a, b))
 
 
 def where(condition, a, b) -> Tensor:
     """Select ``a`` where ``condition`` else ``b``; condition is non-differentiable."""
     cond = _as_array(condition).astype(bool)
     a, b = ensure_tensor(a), ensure_tensor(b)
-    data = np.where(cond, a.data, b.data)
     if not _tracked(a, b):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad * cond, a.shape))
-            if b.requires_grad:
-                b.accumulate_grad(_unbroadcast(out.grad * (~cond), b.shape))
-
-        return _backward
-
-    return _make(data, (a, b), backward)
+        return graph_free(np.where(cond, a.data, b.data))
+    return _apply(P.WHERE, (a, b), cond=cond)
 
 
 # ---------------------------------------------------------------------------
@@ -406,79 +226,25 @@ def where(condition, a, b) -> Tensor:
 def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Sum over ``axis`` (all axes by default)."""
     a = ensure_tensor(a)
-    data = a.data.sum(axis=axis, keepdims=keepdims)
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if not a.requires_grad:
-                return
-            grad = out.grad
-            if not keepdims and axis is not None:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
-            a.accumulate_grad(np.broadcast_to(grad, a.shape).astype(np.float64))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data.sum(axis=axis, keepdims=keepdims))
+    return _apply(P.SUM, (a,), axis=axis, keepdims=keepdims)
 
 
 def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Mean over ``axis`` (all axes by default)."""
     a = ensure_tensor(a)
-    data = a.data.mean(axis=axis, keepdims=keepdims)
     if not _tracked(a):
-        return graph_free(data)
-    if axis is None:
-        count = a.data.size
-    else:
-        axes = (axis,) if isinstance(axis, int) else tuple(axis)
-        count = 1
-        for ax in axes:
-            count *= a.data.shape[ax]
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if not a.requires_grad:
-                return
-            grad = out.grad / count
-            if not keepdims and axis is not None:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
-            a.accumulate_grad(np.broadcast_to(grad, a.shape).astype(np.float64))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data.mean(axis=axis, keepdims=keepdims))
+    return _apply(P.MEAN, (a,), axis=axis, keepdims=keepdims)
 
 
 def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     """Maximum over ``axis``; gradient flows to (all) argmax positions."""
     a = ensure_tensor(a)
-    data = a.data.max(axis=axis, keepdims=keepdims)
     if not _tracked(a):
-        return graph_free(data)
-    expanded = a.data.max(axis=axis, keepdims=True)
-    mask = (a.data == expanded).astype(np.float64)
-    mask_norm = mask / mask.sum(axis=axis, keepdims=True)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if not a.requires_grad:
-                return
-            grad = out.grad
-            if not keepdims and axis is not None:
-                axes = (axis,) if isinstance(axis, int) else tuple(axis)
-                grad = np.expand_dims(grad, axis=tuple(ax % a.data.ndim for ax in axes))
-            elif not keepdims and axis is None:
-                grad = np.asarray(grad).reshape((1,) * a.data.ndim)
-            a.accumulate_grad(np.broadcast_to(grad, a.shape) * mask_norm)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data.max(axis=axis, keepdims=keepdims))
+    return _apply(P.MAX, (a,), axis=axis, keepdims=keepdims)
 
 
 # ---------------------------------------------------------------------------
@@ -488,121 +254,54 @@ def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
 def reshape(a, shape: Sequence[int]) -> Tensor:
     """Reshape without copying data."""
     a = ensure_tensor(a)
-    data = a.data.reshape(shape)
     if not _tracked(a):
-        out = graph_free(data)
+        out = graph_free(a.data.reshape(shape))
         # flat C-order event indices are invariant under reshape, so a spike
         # tensor stays sparse through Flatten -> Linear
         if a._events is not None:
             out._events = a._events
         return out
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad.reshape(a.shape))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+    return _apply(P.RESHAPE, (a,), shape=shape)
 
 
 def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
     """Permute axes (reverse order by default)."""
     a = ensure_tensor(a)
-    data = np.transpose(a.data, axes=axes)
     if not _tracked(a):
-        return graph_free(data)
-    if axes is None:
-        inverse = None
-    else:
-        inverse = np.argsort(axes)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(np.transpose(out.grad, axes=inverse))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.transpose(a.data, axes=axes))
+    return _apply(P.TRANSPOSE, (a,), axes=axes)
 
 
 def broadcast_to(a, shape: Sequence[int]) -> Tensor:
     """Broadcast to ``shape``; backward sums over expanded axes."""
     a = ensure_tensor(a)
-    data = np.broadcast_to(a.data, shape).copy()
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(_unbroadcast(out.grad, a.shape))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(np.broadcast_to(a.data, shape).copy())
+    return _apply(P.BROADCAST_TO, (a,), shape=shape)
 
 
 def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` — the DSC (DenseNet-like) skip primitive."""
     tensors = [ensure_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
     if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
-        return graph_free(data)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if tensor.requires_grad:
-                    index = [slice(None)] * out.grad.ndim
-                    index[axis] = slice(start, stop)
-                    tensor.accumulate_grad(out.grad[tuple(index)])
-
-        return _backward
-
-    return _make(data, tensors, backward)
+        return graph_free(np.concatenate([t.data for t in tensors], axis=axis))
+    return _apply(P.CONCAT, tensors, axis=axis)
 
 
 def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     """Stack tensors along a new axis (used to collect per-time-step outputs)."""
     tensors = [ensure_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
     if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            grads = np.split(out.grad, len(tensors), axis=axis)
-            for tensor, grad in zip(tensors, grads):
-                if tensor.requires_grad:
-                    tensor.accumulate_grad(np.squeeze(grad, axis=axis))
-
-        return _backward
-
-    return _make(data, tensors, backward)
+        return graph_free(np.stack([t.data for t in tensors], axis=axis))
+    return _apply(P.STACK, tensors, axis=axis)
 
 
 def getitem(a, index) -> Tensor:
     """Differentiable indexing/slicing."""
     a = ensure_tensor(a)
-    data = a.data[index]
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                grad = np.zeros_like(a.data, dtype=np.float64)
-                np.add.at(grad, index, out.grad)
-                a.accumulate_grad(grad)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data[index])
+    return _apply(P.GETITEM, (a,), index=index)
 
 
 def pad2d(a, padding: int) -> Tensor:
@@ -610,22 +309,10 @@ def pad2d(a, padding: int) -> Tensor:
     a = ensure_tensor(a)
     if padding == 0:
         return a
-    pad_width = [(0, 0)] * (a.data.ndim - 2) + [(padding, padding), (padding, padding)]
-    data = np.pad(a.data, pad_width)
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                slices = tuple(
-                    slice(None) if p == (0, 0) else slice(p[0], -p[1]) for p in pad_width
-                )
-                a.accumulate_grad(out.grad[slices])
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        pad_width = [(0, 0)] * (a.data.ndim - 2) + [(padding, padding), (padding, padding)]
+        return graph_free(np.pad(a.data, pad_width))
+    return _apply(P.PAD2D, (a,), padding=padding)
 
 
 # ---------------------------------------------------------------------------
@@ -635,43 +322,19 @@ def pad2d(a, padding: int) -> Tensor:
 def softmax(a, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     a = ensure_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    data = e / e.sum(axis=axis, keepdims=True)
     if not _tracked(a):
+        data, _ = P.SOFTMAX.forward(a.data, axis=axis)
         return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                s = out.data
-                dot = (out.grad * s).sum(axis=axis, keepdims=True)
-                a.accumulate_grad(s * (out.grad - dot))
-
-        return _backward
-
-    return _make(data, (a,), backward)
+    return _apply(P.SOFTMAX, (a,), axis=axis)
 
 
 def log_softmax(a, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     a = ensure_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    data = shifted - log_sum
     if not _tracked(a):
+        data, _ = P.LOG_SOFTMAX.forward(a.data, axis=axis)
         return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                softmax_vals = np.exp(out.data)
-                grad_sum = out.grad.sum(axis=axis, keepdims=True)
-                a.accumulate_grad(out.grad - softmax_vals * grad_sum)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+    return _apply(P.LOG_SOFTMAX, (a,), axis=axis)
 
 
 def dropout_mask(a, drop_probability: float, rng: np.random.Generator) -> Tensor:
@@ -680,16 +343,9 @@ def dropout_mask(a, drop_probability: float, rng: np.random.Generator) -> Tensor
     if drop_probability <= 0.0:
         return a
     keep = 1.0 - drop_probability
+    # the mask is drawn unconditionally so the RNG stream does not depend on
+    # whether gradients are being recorded
     mask = (rng.random(a.shape) < keep).astype(np.float64) / keep
-    data = a.data * mask
     if not _tracked(a):
-        return graph_free(data)
-
-    def backward(out: Tensor):
-        def _backward() -> None:
-            if a.requires_grad:
-                a.accumulate_grad(out.grad * mask)
-
-        return _backward
-
-    return _make(data, (a,), backward)
+        return graph_free(a.data * mask)
+    return _apply(P.DROPOUT, (a,), mask=mask)

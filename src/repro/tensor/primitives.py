@@ -1,0 +1,1007 @@
+"""Primitive IR: explicit forward / vjp / jvp declarations for every op.
+
+The autograd layer used to define each operation twice — once as a NumPy
+forward and once as a hand-written ``_backward`` closure buried inside
+:mod:`repro.tensor.ops`.  This module lifts that knowledge into a small
+intermediate representation: a :class:`Primitive` is a named record holding
+
+* ``forward(*arrays, want_ctx=False, **params) -> (out, ctx)`` — the pure
+  NumPy forward.  ``ctx`` is the tuple of residuals the backward pass needs
+  (input shapes, masks, the output itself, ...) and is only computed when
+  ``want_ctx`` is true, so the graph-free inference path pays nothing for it;
+* ``vjp(ctx, grad, needs, **params) -> grads`` — the vector-Jacobian product
+  mapping the output cotangent to one cotangent per input.  ``needs`` is a
+  tuple of booleans (one per input); entries that are not needed may be
+  returned as ``None`` and must not be computed (this mirrors the old
+  closures, which skipped gradient work for untracked inputs);
+* ``jvp(ctx, tangents, **params) -> tangent`` — the Jacobian-vector product
+  (forward-mode directional derivative), used by the registry-driven
+  differential harness in :mod:`repro.tensor.gradcheck` to cross-check the
+  vjp via the dot-product identity ``<w, J v> == <J^T w, v>``.
+
+The graph layer (:func:`apply`) wires a primitive into the define-by-run tape
+exactly the way the old closures did: same fast-path check, same ``_prev``
+filtering, same accumulation order (inputs in declaration order), same
+``_unbroadcast`` handling — so re-expressing :mod:`repro.tensor.ops` and
+:mod:`repro.tensor.conv` on top of the registry is behaviour-preserving
+bit for bit.  The fused temporal training kernels
+(:mod:`repro.snn.fused_step`) are built directly on the registered vjp
+formulas instead of the tape.
+
+Declarations for the dense core ops live here; convolution/pooling primitives
+are declared in :mod:`repro.tensor.conv` and the surrogate spike primitive in
+:mod:`repro.snn.surrogate` (they need those modules' kernels), all landing in
+the same registry.
+
+Every primitive also carries ``samples`` — callables ``(rng, dtype) ->
+(inputs, params)`` producing representative inputs — so the test-suite can
+check the whole registry automatically (``tests/test_primitives.py``).
+``fd_exempt`` marks primitives whose vjp is intentionally *not* the true
+derivative (the surrogate spike), for which only the jvp/vjp consistency
+check applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast, graph_free, is_grad_enabled
+
+Array = np.ndarray
+
+
+class Primitive:
+    """One differentiable operation: named forward with explicit adjoints."""
+
+    __slots__ = ("name", "forward", "vjp", "jvp", "samples", "fd_exempt")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        forward: Callable,
+        vjp: Callable,
+        jvp: Callable,
+        samples: Sequence[Callable] = (),
+        fd_exempt: bool = False,
+    ) -> None:
+        if vjp is None:
+            raise ValueError(f"primitive {name!r} must declare a vjp")
+        if jvp is None:
+            raise ValueError(f"primitive {name!r} must declare a jvp")
+        self.name = str(name)
+        self.forward = forward
+        self.vjp = vjp
+        self.jvp = jvp
+        self.samples = tuple(samples)
+        self.fd_exempt = bool(fd_exempt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Primitive({self.name!r}, fd_exempt={self.fd_exempt})"
+
+
+_REGISTRY: Dict[str, Primitive] = {}
+
+
+def register(primitive: Primitive) -> Primitive:
+    """Add ``primitive`` to the registry (names must be unique)."""
+    if primitive.name in _REGISTRY:
+        raise ValueError(f"primitive {primitive.name!r} is already registered")
+    _REGISTRY[primitive.name] = primitive
+    return primitive
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a registered primitive by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown primitive {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def all_primitives() -> Dict[str, Primitive]:
+    """A copy of the registry (name -> primitive)."""
+    return dict(_REGISTRY)
+
+
+def apply(primitive: Primitive, inputs: Sequence[Tensor], **params) -> Tensor:
+    """Apply ``primitive`` to tensors, recording the graph when grad is on.
+
+    This is the single place where IR meets tape: the fast-path check, the
+    ``_prev`` filtering and the per-input accumulation order are identical to
+    the hand-written closures this replaces.
+    """
+    arrays = tuple(t.data for t in inputs)
+    if not (is_grad_enabled() and any(t.requires_grad for t in inputs)):
+        out, _ = primitive.forward(*arrays, **params)
+        return graph_free(out)
+    data, ctx = primitive.forward(*arrays, want_ctx=True, **params)
+    out = Tensor(
+        data, requires_grad=True, _prev=[t for t in inputs if t.requires_grad or t._prev]
+    )
+    needs = tuple(t.requires_grad for t in inputs)
+
+    def _backward() -> None:
+        grads = primitive.vjp(ctx, out.grad, needs, **params)
+        for tensor, grad in zip(inputs, grads):
+            if grad is not None and tensor.requires_grad:
+                tensor.accumulate_grad(grad)
+
+    out._backward = _backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sample helpers (for the registry-driven differential harness)
+# ---------------------------------------------------------------------------
+
+def _away(values: Array, *points: float, margin: float = 1e-3) -> Array:
+    """Shift entries lying within ``margin`` of a non-smooth point past it.
+
+    Finite differences are meaningless straddling a kink (relu at 0, clip at
+    its bounds); nudging the offending entries keeps samples well-posed
+    without changing their distribution meaningfully.
+    """
+    for point in points:
+        values = values + (np.abs(values - point) < margin) * (2.0 * margin)
+    return values
+
+
+def _sample(shapes: Sequence[Tuple[int, ...]], **params):
+    """Standard-normal inputs of the given shapes."""
+
+    def make(rng: np.random.Generator, dtype):
+        inputs = tuple(rng.standard_normal(shape).astype(dtype, copy=False) for shape in shapes)
+        return inputs, dict(params)
+
+    return make
+
+
+def _positive_sample(shapes: Sequence[Tuple[int, ...]], **params):
+    """Inputs bounded away from zero from above (for log / div / power)."""
+
+    def make(rng: np.random.Generator, dtype):
+        inputs = tuple(
+            (np.abs(rng.standard_normal(shape)) + 0.5).astype(dtype, copy=False)
+            for shape in shapes
+        )
+        return inputs, dict(params)
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+def _add_fwd(a, b, want_ctx=False):
+    out = a + b
+    return out, ((a.shape, b.shape) if want_ctx else None)
+
+
+def _add_vjp(ctx, g, needs):
+    a_shape, b_shape = ctx
+    return (
+        _unbroadcast(g, a_shape) if needs[0] else None,
+        _unbroadcast(g, b_shape) if needs[1] else None,
+    )
+
+
+def _add_jvp(ctx, tangents):
+    ta, tb = tangents
+    return ta + tb
+
+
+ADD = register(
+    Primitive(
+        "add",
+        forward=_add_fwd,
+        vjp=_add_vjp,
+        jvp=_add_jvp,
+        samples=[_sample([(3, 4), (3, 4)]), _sample([(3, 4), (4,)]), _sample([(2, 1, 3), (1, 4, 3)])],
+    )
+)
+
+
+def _sub_fwd(a, b, want_ctx=False):
+    out = a - b
+    return out, ((a.shape, b.shape) if want_ctx else None)
+
+
+def _sub_vjp(ctx, g, needs):
+    a_shape, b_shape = ctx
+    return (
+        _unbroadcast(g, a_shape) if needs[0] else None,
+        _unbroadcast(-g, b_shape) if needs[1] else None,
+    )
+
+
+def _sub_jvp(ctx, tangents):
+    ta, tb = tangents
+    return ta - tb
+
+
+SUB = register(
+    Primitive(
+        "sub",
+        forward=_sub_fwd,
+        vjp=_sub_vjp,
+        jvp=_sub_jvp,
+        samples=[_sample([(3, 4), (3, 4)]), _sample([(3, 4), (4,)])],
+    )
+)
+
+
+def _mul_fwd(a, b, want_ctx=False):
+    out = a * b
+    return out, ((a, b) if want_ctx else None)
+
+
+def _mul_vjp(ctx, g, needs):
+    a, b = ctx
+    return (
+        _unbroadcast(g * b, a.shape) if needs[0] else None,
+        _unbroadcast(g * a, b.shape) if needs[1] else None,
+    )
+
+
+def _mul_jvp(ctx, tangents):
+    a, b = ctx
+    ta, tb = tangents
+    return ta * b + a * tb
+
+
+MUL = register(
+    Primitive(
+        "mul",
+        forward=_mul_fwd,
+        vjp=_mul_vjp,
+        jvp=_mul_jvp,
+        samples=[_sample([(3, 4), (3, 4)]), _sample([(3, 4), (4,)])],
+    )
+)
+
+
+def _div_fwd(a, b, want_ctx=False):
+    out = a / b
+    return out, ((a, b) if want_ctx else None)
+
+
+def _div_vjp(ctx, g, needs):
+    a, b = ctx
+    return (
+        _unbroadcast(g / b, a.shape) if needs[0] else None,
+        _unbroadcast(-g * a / (b ** 2), b.shape) if needs[1] else None,
+    )
+
+
+def _div_jvp(ctx, tangents):
+    a, b = ctx
+    ta, tb = tangents
+    return ta / b - a * tb / (b ** 2)
+
+
+DIV = register(
+    Primitive(
+        "div",
+        forward=_div_fwd,
+        vjp=_div_vjp,
+        jvp=_div_jvp,
+        samples=[_positive_sample([(3, 4), (3, 4)]), _positive_sample([(3, 4), (4,)])],
+    )
+)
+
+
+def _neg_fwd(a, want_ctx=False):
+    return -a, None
+
+
+def _neg_vjp(ctx, g, needs):
+    return ((-g) if needs[0] else None,)
+
+
+def _neg_jvp(ctx, tangents):
+    return -tangents[0]
+
+
+NEG = register(Primitive("neg", forward=_neg_fwd, vjp=_neg_vjp, jvp=_neg_jvp, samples=[_sample([(3, 4)])]))
+
+
+def _power_fwd(a, want_ctx=False, *, exponent):
+    out = a ** exponent
+    return out, ((a,) if want_ctx else None)
+
+
+def _power_vjp(ctx, g, needs, *, exponent):
+    (a,) = ctx
+    return ((g * exponent * a ** (exponent - 1)) if needs[0] else None,)
+
+
+def _power_jvp(ctx, tangents, *, exponent):
+    (a,) = ctx
+    return tangents[0] * exponent * a ** (exponent - 1)
+
+
+POWER = register(
+    Primitive(
+        "power",
+        forward=_power_fwd,
+        vjp=_power_vjp,
+        jvp=_power_jvp,
+        samples=[_positive_sample([(3, 4)], exponent=2.0), _positive_sample([(3, 4)], exponent=0.5)],
+    )
+)
+
+
+def _matmul_fwd(a, b, want_ctx=False):
+    out = a @ b
+    return out, ((a, b) if want_ctx else None)
+
+
+def _matmul_vjp(ctx, g, needs):
+    a, b = ctx
+    grad_a = grad_b = None
+    if needs[0]:
+        grad_a = _unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape)
+    if needs[1]:
+        grad_b = _unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape)
+    return grad_a, grad_b
+
+
+def _matmul_jvp(ctx, tangents):
+    a, b = ctx
+    ta, tb = tangents
+    return ta @ b + a @ tb
+
+
+MATMUL = register(
+    Primitive(
+        "matmul",
+        forward=_matmul_fwd,
+        vjp=_matmul_vjp,
+        jvp=_matmul_jvp,
+        samples=[_sample([(3, 4), (4, 5)]), _sample([(2, 3, 4), (4, 5)])],
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# elementwise nonlinearities
+# ---------------------------------------------------------------------------
+
+def _exp_fwd(a, want_ctx=False):
+    out = np.exp(a)
+    return out, ((out,) if want_ctx else None)
+
+
+def _exp_vjp(ctx, g, needs):
+    (out,) = ctx
+    return ((g * out) if needs[0] else None,)
+
+
+def _exp_jvp(ctx, tangents):
+    (out,) = ctx
+    return tangents[0] * out
+
+
+EXP = register(Primitive("exp", forward=_exp_fwd, vjp=_exp_vjp, jvp=_exp_jvp, samples=[_sample([(3, 4)])]))
+
+
+def _log_fwd(a, want_ctx=False):
+    out = np.log(a)
+    return out, ((a,) if want_ctx else None)
+
+
+def _log_vjp(ctx, g, needs):
+    (a,) = ctx
+    return ((g / a) if needs[0] else None,)
+
+
+def _log_jvp(ctx, tangents):
+    (a,) = ctx
+    return tangents[0] / a
+
+
+LOG = register(Primitive("log", forward=_log_fwd, vjp=_log_vjp, jvp=_log_jvp, samples=[_positive_sample([(3, 4)])]))
+
+
+def _tanh_fwd(a, want_ctx=False):
+    out = np.tanh(a)
+    return out, ((out,) if want_ctx else None)
+
+
+def _tanh_vjp(ctx, g, needs):
+    (out,) = ctx
+    return ((g * (1.0 - out ** 2)) if needs[0] else None,)
+
+
+def _tanh_jvp(ctx, tangents):
+    (out,) = ctx
+    return tangents[0] * (1.0 - out ** 2)
+
+
+TANH = register(Primitive("tanh", forward=_tanh_fwd, vjp=_tanh_vjp, jvp=_tanh_jvp, samples=[_sample([(3, 4)])]))
+
+
+def _sigmoid_fwd(a, want_ctx=False):
+    out = np.empty_like(a)
+    pos = a >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+    ex = np.exp(a[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out, ((out,) if want_ctx else None)
+
+
+def _sigmoid_vjp(ctx, g, needs):
+    (out,) = ctx
+    return ((g * out * (1.0 - out)) if needs[0] else None,)
+
+
+def _sigmoid_jvp(ctx, tangents):
+    (out,) = ctx
+    return tangents[0] * out * (1.0 - out)
+
+
+SIGMOID = register(
+    Primitive("sigmoid", forward=_sigmoid_fwd, vjp=_sigmoid_vjp, jvp=_sigmoid_jvp, samples=[_sample([(3, 4)])])
+)
+
+
+def _relu_fwd(a, want_ctx=False):
+    mask = a > 0
+    out = a * mask
+    return out, ((mask,) if want_ctx else None)
+
+
+def _relu_vjp(ctx, g, needs):
+    (mask,) = ctx
+    return ((g * mask) if needs[0] else None,)
+
+
+def _relu_jvp(ctx, tangents):
+    (mask,) = ctx
+    return tangents[0] * mask
+
+
+def _relu_sample(rng, dtype):
+    return (_away(rng.standard_normal((3, 4)), 0.0).astype(dtype, copy=False),), {}
+
+
+RELU = register(Primitive("relu", forward=_relu_fwd, vjp=_relu_vjp, jvp=_relu_jvp, samples=[_relu_sample]))
+
+
+def _clip_fwd(a, want_ctx=False, *, low, high):
+    out = np.clip(a, low, high)
+    if not want_ctx:
+        return out, None
+    return out, ((a >= low) & (a <= high),)
+
+
+def _clip_vjp(ctx, g, needs, *, low, high):
+    (mask,) = ctx
+    return ((g * mask) if needs[0] else None,)
+
+
+def _clip_jvp(ctx, tangents, *, low, high):
+    (mask,) = ctx
+    return tangents[0] * mask
+
+
+def _clip_sample(rng, dtype):
+    values = _away(rng.standard_normal((3, 4)), -0.7, 0.7)
+    return (values.astype(dtype, copy=False),), {"low": -0.7, "high": 0.7}
+
+
+CLIP = register(Primitive("clip", forward=_clip_fwd, vjp=_clip_vjp, jvp=_clip_jvp, samples=[_clip_sample]))
+
+
+def _extrema_ctx(a, b, a_wins):
+    tie = a == b
+    return a_wins, tie, a.shape, b.shape
+
+
+def _maximum_fwd(a, b, want_ctx=False):
+    out = np.maximum(a, b)
+    if not want_ctx:
+        return out, None
+    return out, _extrema_ctx(a, b, a > b)
+
+
+def _minimum_fwd(a, b, want_ctx=False):
+    out = np.minimum(a, b)
+    if not want_ctx:
+        return out, None
+    return out, _extrema_ctx(a, b, a < b)
+
+
+def _extrema_vjp(ctx, g, needs):
+    a_wins, tie, a_shape, b_shape = ctx
+    return (
+        _unbroadcast(g * (a_wins + 0.5 * tie), a_shape) if needs[0] else None,
+        _unbroadcast(g * (~a_wins & ~tie) + g * 0.5 * tie, b_shape) if needs[1] else None,
+    )
+
+
+def _extrema_jvp(ctx, tangents):
+    a_wins, tie, _, _ = ctx
+    ta, tb = tangents
+    return ta * (a_wins + 0.5 * tie) + tb * ((~a_wins & ~tie) + 0.5 * tie)
+
+
+MAXIMUM = register(
+    Primitive(
+        "maximum",
+        forward=_maximum_fwd,
+        vjp=_extrema_vjp,
+        jvp=_extrema_jvp,
+        samples=[_sample([(3, 4), (3, 4)])],
+    )
+)
+
+MINIMUM = register(
+    Primitive(
+        "minimum",
+        forward=_minimum_fwd,
+        vjp=_extrema_vjp,
+        jvp=_extrema_jvp,
+        samples=[_sample([(3, 4), (3, 4)])],
+    )
+)
+
+
+def _where_fwd(a, b, want_ctx=False, *, cond):
+    out = np.where(cond, a, b)
+    return out, ((a.shape, b.shape) if want_ctx else None)
+
+
+def _where_vjp(ctx, g, needs, *, cond):
+    a_shape, b_shape = ctx
+    return (
+        _unbroadcast(g * cond, a_shape) if needs[0] else None,
+        _unbroadcast(g * (~cond), b_shape) if needs[1] else None,
+    )
+
+
+def _where_jvp(ctx, tangents, *, cond):
+    ta, tb = tangents
+    return np.where(cond, ta, tb)
+
+
+def _where_sample(rng, dtype):
+    inputs = tuple(rng.standard_normal((3, 4)).astype(dtype, copy=False) for _ in range(2))
+    return inputs, {"cond": rng.random((3, 4)) > 0.5}
+
+
+WHERE = register(Primitive("where", forward=_where_fwd, vjp=_where_vjp, jvp=_where_jvp, samples=[_where_sample]))
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def _reduce_expand(grad, axis, keepdims, ndim):
+    """Re-insert reduced axes exactly the way the old closures did."""
+    if not keepdims and axis is not None:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        grad = np.expand_dims(grad, axis=tuple(ax % ndim for ax in axes))
+    return grad
+
+
+def _sum_fwd(a, want_ctx=False, *, axis=None, keepdims=False):
+    out = a.sum(axis=axis, keepdims=keepdims)
+    return out, ((a.shape,) if want_ctx else None)
+
+
+def _sum_vjp(ctx, g, needs, *, axis=None, keepdims=False):
+    if not needs[0]:
+        return (None,)
+    (shape,) = ctx
+    grad = _reduce_expand(g, axis, keepdims, len(shape))
+    return (np.broadcast_to(grad, shape).astype(np.float64),)
+
+
+def _sum_jvp(ctx, tangents, *, axis=None, keepdims=False):
+    return tangents[0].sum(axis=axis, keepdims=keepdims)
+
+
+SUM = register(
+    Primitive(
+        "sum",
+        forward=_sum_fwd,
+        vjp=_sum_vjp,
+        jvp=_sum_jvp,
+        samples=[
+            _sample([(3, 4)]),
+            _sample([(3, 4)], axis=0),
+            _sample([(2, 3, 4)], axis=(0, 2), keepdims=True),
+        ],
+    )
+)
+
+
+def _reduce_count(shape, axis):
+    if axis is None:
+        count = 1
+        for size in shape:
+            count *= size
+        return count
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    count = 1
+    for ax in axes:
+        count *= shape[ax]
+    return count
+
+
+def _mean_fwd(a, want_ctx=False, *, axis=None, keepdims=False):
+    out = a.mean(axis=axis, keepdims=keepdims)
+    return out, ((a.shape,) if want_ctx else None)
+
+
+def _mean_vjp(ctx, g, needs, *, axis=None, keepdims=False):
+    if not needs[0]:
+        return (None,)
+    (shape,) = ctx
+    grad = g / _reduce_count(shape, axis)
+    grad = _reduce_expand(grad, axis, keepdims, len(shape))
+    return (np.broadcast_to(grad, shape).astype(np.float64),)
+
+
+def _mean_jvp(ctx, tangents, *, axis=None, keepdims=False):
+    return tangents[0].mean(axis=axis, keepdims=keepdims)
+
+
+MEAN = register(
+    Primitive(
+        "mean",
+        forward=_mean_fwd,
+        vjp=_mean_vjp,
+        jvp=_mean_jvp,
+        samples=[
+            _sample([(3, 4)]),
+            _sample([(2, 3, 4)], axis=(0, 2)),
+            _sample([(2, 3, 4, 2)], axis=(0, 2, 3), keepdims=True),
+        ],
+    )
+)
+
+
+def _max_fwd(a, want_ctx=False, *, axis=None, keepdims=False):
+    out = a.max(axis=axis, keepdims=keepdims)
+    if not want_ctx:
+        return out, None
+    expanded = a.max(axis=axis, keepdims=True)
+    mask = (a == expanded).astype(np.float64)
+    mask_norm = mask / mask.sum(axis=axis, keepdims=True)
+    return out, (mask_norm, a.shape)
+
+
+def _max_vjp(ctx, g, needs, *, axis=None, keepdims=False):
+    if not needs[0]:
+        return (None,)
+    mask_norm, shape = ctx
+    ndim = len(shape)
+    grad = g
+    if not keepdims and axis is not None:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        grad = np.expand_dims(grad, axis=tuple(ax % ndim for ax in axes))
+    elif not keepdims and axis is None:
+        grad = np.asarray(grad).reshape((1,) * ndim)
+    return (np.broadcast_to(grad, shape) * mask_norm,)
+
+
+def _max_jvp(ctx, tangents, *, axis=None, keepdims=False):
+    mask_norm, _ = ctx
+    return (mask_norm * tangents[0]).sum(axis=axis, keepdims=keepdims)
+
+
+MAX = register(
+    Primitive(
+        "max",
+        forward=_max_fwd,
+        vjp=_max_vjp,
+        jvp=_max_jvp,
+        samples=[_sample([(3, 4)]), _sample([(3, 4)], axis=1), _sample([(2, 3, 4)], axis=(1,), keepdims=True)],
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+def _reshape_fwd(a, want_ctx=False, *, shape):
+    out = a.reshape(shape)
+    return out, ((a.shape,) if want_ctx else None)
+
+
+def _reshape_vjp(ctx, g, needs, *, shape):
+    (a_shape,) = ctx
+    return (g.reshape(a_shape) if needs[0] else None,)
+
+
+def _reshape_jvp(ctx, tangents, *, shape):
+    return tangents[0].reshape(shape)
+
+
+RESHAPE = register(
+    Primitive(
+        "reshape",
+        forward=_reshape_fwd,
+        vjp=_reshape_vjp,
+        jvp=_reshape_jvp,
+        samples=[_sample([(3, 4)], shape=(2, 6)), _sample([(2, 3, 4)], shape=(6, 4))],
+    )
+)
+
+
+def _transpose_fwd(a, want_ctx=False, *, axes=None):
+    out = np.transpose(a, axes=axes)
+    if not want_ctx:
+        return out, None
+    inverse = None if axes is None else np.argsort(axes)
+    return out, (inverse,)
+
+
+def _transpose_vjp(ctx, g, needs, *, axes=None):
+    (inverse,) = ctx
+    return (np.transpose(g, axes=inverse) if needs[0] else None,)
+
+
+def _transpose_jvp(ctx, tangents, *, axes=None):
+    return np.transpose(tangents[0], axes=axes)
+
+
+TRANSPOSE = register(
+    Primitive(
+        "transpose",
+        forward=_transpose_fwd,
+        vjp=_transpose_vjp,
+        jvp=_transpose_jvp,
+        samples=[_sample([(3, 4)]), _sample([(2, 3, 4)], axes=(1, 2, 0))],
+    )
+)
+
+
+def _broadcast_to_fwd(a, want_ctx=False, *, shape):
+    out = np.broadcast_to(a, shape).copy()
+    return out, ((a.shape,) if want_ctx else None)
+
+
+def _broadcast_to_vjp(ctx, g, needs, *, shape):
+    (a_shape,) = ctx
+    return (_unbroadcast(g, a_shape) if needs[0] else None,)
+
+
+def _broadcast_to_jvp(ctx, tangents, *, shape):
+    return np.broadcast_to(tangents[0], shape).copy()
+
+
+BROADCAST_TO = register(
+    Primitive(
+        "broadcast_to",
+        forward=_broadcast_to_fwd,
+        vjp=_broadcast_to_vjp,
+        jvp=_broadcast_to_jvp,
+        samples=[_sample([(1, 4)], shape=(3, 4)), _sample([(3, 1)], shape=(3, 5))],
+    )
+)
+
+
+def _concat_fwd(*arrays, want_ctx=False, axis=0):
+    out = np.concatenate(arrays, axis=axis)
+    if not want_ctx:
+        return out, None
+    sizes = [array.shape[axis] for array in arrays]
+    offsets = np.cumsum([0] + sizes)
+    return out, (offsets,)
+
+
+def _concat_vjp(ctx, g, needs, *, axis=0):
+    (offsets,) = ctx
+    grads = []
+    for index, (start, stop) in enumerate(zip(offsets[:-1], offsets[1:])):
+        if not needs[index]:
+            grads.append(None)
+            continue
+        slicer = [slice(None)] * g.ndim
+        slicer[axis] = slice(start, stop)
+        grads.append(g[tuple(slicer)])
+    return grads
+
+
+def _concat_jvp(ctx, tangents, *, axis=0):
+    return np.concatenate(tangents, axis=axis)
+
+
+CONCAT = register(
+    Primitive(
+        "concat",
+        forward=_concat_fwd,
+        vjp=_concat_vjp,
+        jvp=_concat_jvp,
+        samples=[_sample([(2, 3), (2, 3), (2, 3)], axis=0), _sample([(2, 2), (2, 3)], axis=1)],
+    )
+)
+
+
+def _stack_fwd(*arrays, want_ctx=False, axis=0):
+    out = np.stack(arrays, axis=axis)
+    return out, ((len(arrays),) if want_ctx else None)
+
+
+def _stack_vjp(ctx, g, needs, *, axis=0):
+    (count,) = ctx
+    parts = np.split(g, count, axis=axis)
+    return [
+        np.squeeze(part, axis=axis) if needed else None for part, needed in zip(parts, needs)
+    ]
+
+
+def _stack_jvp(ctx, tangents, *, axis=0):
+    return np.stack(tangents, axis=axis)
+
+
+STACK = register(
+    Primitive(
+        "stack",
+        forward=_stack_fwd,
+        vjp=_stack_vjp,
+        jvp=_stack_jvp,
+        samples=[_sample([(2, 3), (2, 3)], axis=0), _sample([(2, 3), (2, 3), (2, 3)], axis=1)],
+    )
+)
+
+
+def _getitem_fwd(a, want_ctx=False, *, index):
+    out = a[index]
+    return out, ((a.shape, a.dtype) if want_ctx else None)
+
+
+def _getitem_vjp(ctx, g, needs, *, index):
+    if not needs[0]:
+        return (None,)
+    shape, dtype = ctx
+    grad = np.zeros(shape, dtype=np.float64)
+    np.add.at(grad, index, g)
+    return (grad,)
+
+
+def _getitem_jvp(ctx, tangents, *, index):
+    return tangents[0][index]
+
+
+def _getitem_sample(rng, dtype):
+    values = rng.standard_normal((4, 3)).astype(dtype, copy=False)
+    return (values,), {"index": np.array([0, 2, 2, 1])}
+
+
+GETITEM = register(
+    Primitive("getitem", forward=_getitem_fwd, vjp=_getitem_vjp, jvp=_getitem_jvp, samples=[_getitem_sample])
+)
+
+
+def _pad2d_fwd(a, want_ctx=False, *, padding):
+    pad_width = [(0, 0)] * (a.ndim - 2) + [(padding, padding), (padding, padding)]
+    out = np.pad(a, pad_width)
+    return out, ((tuple(pad_width),) if want_ctx else None)
+
+
+def _pad2d_vjp(ctx, g, needs, *, padding):
+    if not needs[0]:
+        return (None,)
+    (pad_width,) = ctx
+    slices = tuple(slice(None) if p == (0, 0) else slice(p[0], -p[1]) for p in pad_width)
+    return (g[slices],)
+
+
+def _pad2d_jvp(ctx, tangents, *, padding):
+    ta = tangents[0]
+    pad_width = [(0, 0)] * (ta.ndim - 2) + [(padding, padding), (padding, padding)]
+    return np.pad(ta, pad_width)
+
+
+PAD2D = register(
+    Primitive(
+        "pad2d",
+        forward=_pad2d_fwd,
+        vjp=_pad2d_vjp,
+        jvp=_pad2d_jvp,
+        samples=[_sample([(2, 3, 4, 4)], padding=1)],
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# composite ops
+# ---------------------------------------------------------------------------
+
+def _softmax_fwd(a, want_ctx=False, *, axis=-1):
+    shifted = a - a.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+    return out, ((out,) if want_ctx else None)
+
+
+def _softmax_vjp(ctx, g, needs, *, axis=-1):
+    if not needs[0]:
+        return (None,)
+    (out,) = ctx
+    dot = (g * out).sum(axis=axis, keepdims=True)
+    return (out * (g - dot),)
+
+
+def _softmax_jvp(ctx, tangents, *, axis=-1):
+    (out,) = ctx
+    ta = tangents[0]
+    return out * (ta - (out * ta).sum(axis=axis, keepdims=True))
+
+
+SOFTMAX = register(
+    Primitive(
+        "softmax",
+        forward=_softmax_fwd,
+        vjp=_softmax_vjp,
+        jvp=_softmax_jvp,
+        samples=[_sample([(3, 4)]), _sample([(2, 3, 4)], axis=1)],
+    )
+)
+
+
+def _log_softmax_fwd(a, want_ctx=False, *, axis=-1):
+    shifted = a - a.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    return out, ((out,) if want_ctx else None)
+
+
+def _log_softmax_vjp(ctx, g, needs, *, axis=-1):
+    if not needs[0]:
+        return (None,)
+    (out,) = ctx
+    softmax_vals = np.exp(out)
+    grad_sum = g.sum(axis=axis, keepdims=True)
+    return (g - softmax_vals * grad_sum,)
+
+
+def _log_softmax_jvp(ctx, tangents, *, axis=-1):
+    (out,) = ctx
+    ta = tangents[0]
+    return ta - (np.exp(out) * ta).sum(axis=axis, keepdims=True)
+
+
+LOG_SOFTMAX = register(
+    Primitive(
+        "log_softmax",
+        forward=_log_softmax_fwd,
+        vjp=_log_softmax_vjp,
+        jvp=_log_softmax_jvp,
+        samples=[_sample([(3, 4)]), _sample([(2, 3, 4)], axis=1)],
+    )
+)
+
+
+def _dropout_fwd(a, want_ctx=False, *, mask):
+    out = a * mask
+    return out, None
+
+
+def _dropout_vjp(ctx, g, needs, *, mask):
+    return ((g * mask) if needs[0] else None,)
+
+
+def _dropout_jvp(ctx, tangents, *, mask):
+    return tangents[0] * mask
+
+
+def _dropout_sample(rng, dtype):
+    values = rng.standard_normal((3, 4)).astype(dtype, copy=False)
+    keep = 0.75
+    mask = (rng.random((3, 4)) < keep).astype(np.float64) / keep
+    return (values,), {"mask": mask}
+
+
+DROPOUT = register(
+    Primitive("dropout", forward=_dropout_fwd, vjp=_dropout_vjp, jvp=_dropout_jvp, samples=[_dropout_sample])
+)

@@ -64,15 +64,30 @@ class WorkspacePool:
         leftover contents may be relied upon.  On ``False`` the contents are
         undefined and the caller must (re)initialise what it reads.
         """
-        size = math.prod(shape)
         entries = self._entries()
         entry = entries.get(key)
-        if entry is None or entry["flat"].size < size or entry["flat"].dtype != np.dtype(dtype):
-            entry = {"flat": np.empty(size, dtype=dtype), "signature": None}
-            entries[key] = entry
-        matched = signature is not None and entry["signature"] == signature
-        entry["signature"] = signature
-        return entry["flat"][:size].reshape(shape), matched
+        if entry is not None and entry["shape"] == shape and entry["dtype_arg"] is dtype:
+            # steady-state hit: same geometry as the previous borrow — return
+            # the cached shaped view without re-deriving size/dtype/reshape
+            matched = signature is not None and entry["signature"] == signature
+            entry["signature"] = signature
+            return entry["view"], matched
+        size = math.prod(shape)
+        dt = np.dtype(dtype)
+        flat = entry["flat"] if entry is not None else None
+        if flat is None or flat.size < size or flat.dtype != dt:
+            flat = np.empty(size, dtype=dt)
+            entry = None
+        view = flat[:size].reshape(shape)
+        matched = signature is not None and entry is not None and entry["signature"] == signature
+        entries[key] = {
+            "flat": flat,
+            "shape": tuple(shape),
+            "dtype_arg": dtype,
+            "view": view,
+            "signature": signature,
+        }
+        return view, matched
 
     def clear(self) -> None:
         """Drop this thread's buffers (tests / memory-pressure hook)."""

@@ -46,6 +46,10 @@ class TrainingConfig:
     early_stopping_patience: Optional[int] = None
     shuffle: bool = True
     seed: int = 0
+    #: fused-BPTT dispatch mode for temporal models: "auto" fuses whenever the
+    #: model qualifies (bit-identical to graph autograd), "on" requires it,
+    #: "off" always uses the recorded graph (see repro.snn.fused_step)
+    fused: str = "auto"
 
     def with_overrides(self, **kwargs) -> "TrainingConfig":
         """Return a copy with selected fields replaced."""
@@ -113,22 +117,26 @@ class Trainer:
         history = TrainingHistory()
 
         from repro.tensor import Tensor  # local import to keep module load light
+        from repro.snn.fused_step import fused_training  # local import, same reason
 
         for _epoch in range(config.epochs):
-            with span("train.epoch", epoch=_epoch) as epoch_span:
+            with span("train.epoch", epoch=_epoch) as epoch_span, fused_training(config.fused):
                 model.train()
                 epoch_losses = []
                 epoch_accuracies = []
                 for inputs, targets in loader:
-                    optimizer.zero_grad()
-                    logits = model(Tensor(inputs))
-                    loss = loss_fn(logits, targets)
-                    loss.backward()
-                    if config.grad_clip:
-                        optimizer.clip_grad_norm(config.grad_clip)
-                    optimizer.step()
-                    epoch_losses.append(loss.item())
-                    epoch_accuracies.append(accuracy(logits, targets))
+                    with span("train.step") as step_span:
+                        optimizer.zero_grad()
+                        logits = model(Tensor(inputs))
+                        loss = loss_fn(logits, targets)
+                        loss.backward()
+                        if config.grad_clip:
+                            optimizer.clip_grad_norm(config.grad_clip)
+                        optimizer.step()
+                        epoch_losses.append(loss.item())
+                        epoch_accuracies.append(accuracy(logits, targets))
+                        if step_span:
+                            step_span.set(loss=float(loss.item()))
                 val_accuracy = (
                     evaluate_classifier(model, val_dataset, batch_size=config.batch_size)
                     if val_dataset is not None and len(val_dataset)

@@ -1,0 +1,297 @@
+"""Tests for the fused temporal training kernel (:mod:`repro.snn.fused_step`).
+
+The fused path's contract has three legs, each pinned here:
+
+* **bit-identity** — for every supported (reset mechanism x readout) pair the
+  fused step reproduces graph autograd exactly: same loss, same logits, same
+  bits in every parameter gradient and batch-norm running statistic;
+* **dispatch discipline** — ``auto`` fuses only when the compiled plan
+  qualifies and silently falls back otherwise, ``on`` raises with the
+  disqualifying reason, ``off`` always takes the recorded graph, and the
+  routing counters account for every step either way;
+* **residual lifetime** — pooled residual stashes never alias anything that
+  escapes a step: interleaved training of two models produces the same bits
+  as training them separately, and a backward against residuals overwritten
+  by a newer forward fails loudly instead of computing garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.async_eval import _absorb_telemetry, _TelemetryCall
+from repro.core.objectives import EvaluationResult
+from repro.data.loaders import ArrayDataset
+from repro.models import get_template
+from repro.nn import CrossEntropyLoss, Linear, Sequential
+from repro.snn import TemporalRunner
+from repro.snn.fused_step import (
+    aggregate_fused_counters,
+    fused_counters,
+    fused_mode,
+    fused_training,
+    reset_fused_counters,
+)
+from repro.snn.neurons import LIFNeuron
+from repro.tensor import Tensor
+from repro.tensor.tolerance import assert_float32_contract
+from repro.training import Trainer, TrainingConfig
+
+RESETS = ("subtract", "zero", "none")
+READOUTS = ("membrane_mean", "membrane_last", "spike_count", "spike_rate")
+
+
+def build_model(reset: str = "subtract"):
+    """A small spiking SkipConnectionNetwork with deterministic weights."""
+    template = get_template("resnet18", input_channels=2, num_classes=10, stage_channels=(6, 8))
+    model = template.build(spiking=True, rng=0)
+    if reset != "subtract":
+        for module in model.modules():
+            if isinstance(module, LIFNeuron):
+                module.reset_mechanism = reset
+    return model
+
+
+def make_batch(batch_size: int = 4, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return rng.random((batch_size, 2, 12, 12)), rng.integers(0, 10, size=batch_size)
+
+
+def one_step(mode: str, reset: str, readout: str, num_steps: int = 3):
+    """One training step from a fresh seeded model; returns all observables."""
+    batch, targets = make_batch()
+    model = build_model(reset)
+    runner = TemporalRunner(model, num_steps=num_steps, readout=readout)
+    model.zero_grad()
+    with fused_training(mode):
+        logits = runner(batch)
+        loss = CrossEntropyLoss()(logits, targets)
+        loss.backward()
+    grads = {
+        name: None if p.grad is None else np.array(p.grad)
+        for name, p in model.named_parameters()
+    }
+    stats = {
+        f"{name}.{buf}": np.array(getattr(module, buf))
+        for name, module in model.named_modules()
+        for buf in ("running_mean", "running_var")
+        if hasattr(module, buf)
+    }
+    return float(loss.item()), np.array(logits.data), grads, stats
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("reset", RESETS)
+    @pytest.mark.parametrize("readout", READOUTS)
+    def test_fused_step_matches_graph_autograd_exactly(self, reset, readout):
+        reset_fused_counters()
+        graph_loss, graph_logits, graph_grads, graph_stats = one_step("off", reset, readout)
+        fused_loss, fused_logits, fused_grads, fused_stats = one_step("on", reset, readout)
+        assert fused_loss == graph_loss
+        assert np.array_equal(fused_logits, graph_logits)
+        assert set(fused_grads) == set(graph_grads)
+        for name, reference in graph_grads.items():
+            candidate = fused_grads[name]
+            if reference is None:
+                assert candidate is None, name
+                continue
+            assert candidate is not None, name
+            assert np.array_equal(candidate, reference), f"grad {name} diverged"
+        for name, reference in graph_stats.items():
+            assert np.array_equal(fused_stats[name], reference), f"buffer {name} diverged"
+        counters = fused_counters()
+        assert counters["fused_steps"] == 1
+        assert counters["fallback_steps"] == 1
+
+
+def fit_smoke(fused: str, dtype=np.float64):
+    """A deterministic two-epoch training run; returns the final weights."""
+    rng = np.random.default_rng(7)
+    inputs = rng.random((12, 2, 12, 12)).astype(dtype)
+    targets = rng.integers(0, 10, size=12)
+    model = build_model()
+    if dtype is not np.float64:
+        model.to_dtype(dtype)
+    runner = TemporalRunner(model, num_steps=3)
+    config = TrainingConfig(epochs=2, batch_size=4, learning_rate=0.05, seed=3, fused=fused)
+    Trainer(config).fit(runner, ArrayDataset(inputs, targets))
+    return {name: np.array(p.data) for name, p in model.named_parameters()}
+
+
+class TestTrainerIntegration:
+    def test_seeded_float64_run_reaches_identical_final_weights(self):
+        reset_fused_counters()
+        graph_weights = fit_smoke("off")
+        assert fused_counters() == {"fused_steps": 0, "fallback_steps": 6}
+        reset_fused_counters()
+        fused_weights = fit_smoke("auto")
+        assert fused_counters() == {"fused_steps": 6, "fallback_steps": 0}
+        assert set(fused_weights) == set(graph_weights)
+        for name, reference in graph_weights.items():
+            assert np.array_equal(fused_weights[name], reference), f"weight {name} diverged"
+
+    def test_float32_run_stays_within_tolerance_contract(self):
+        graph_weights = fit_smoke("off", dtype=np.float32)
+        fused_weights = fit_smoke("auto", dtype=np.float32)
+        # six optimizer steps over a 3-step unroll on 4x2x12x12 batches: the
+        # longest float32 accumulation chain is bounded by the per-layer
+        # reduction size times the unroll, far under this conservative bound
+        for name, reference in graph_weights.items():
+            assert_float32_contract(
+                np.asarray(fused_weights[name], dtype=np.float64),
+                np.asarray(reference, dtype=np.float64),
+                accumulation_length=50_000,
+                context=f"fused float32 weight {name}",
+            )
+
+
+class TestDispatch:
+    def test_mode_off_never_fuses(self):
+        reset_fused_counters()
+        one_step("off", "subtract", "membrane_mean")
+        assert fused_counters() == {"fused_steps": 0, "fallback_steps": 1}
+
+    def test_mode_nesting_restores_previous(self):
+        assert fused_mode() == "auto"
+        with fused_training("off"):
+            assert fused_mode() == "off"
+            with fused_training("on"):
+                assert fused_mode() == "on"
+            assert fused_mode() == "off"
+        assert fused_mode() == "auto"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="fused mode"):
+            with fused_training("sometimes"):
+                pass  # pragma: no cover - never reached
+
+    def test_truncation_falls_back_in_auto_and_raises_in_on(self):
+        batch, targets = make_batch()
+        model = build_model()
+        runner = TemporalRunner(model, num_steps=4, truncation=2)
+        reset_fused_counters()
+        with fused_training("auto"):
+            CrossEntropyLoss()(runner(batch), targets).backward()
+        assert fused_counters()["fallback_steps"] == 1
+        with fused_training("on"):
+            with pytest.raises(RuntimeError, match="truncat"):
+                runner(batch)
+
+    def test_non_qualifying_model_falls_back_in_auto_and_raises_in_on(self):
+        batch = np.random.default_rng(0).random((4, 8))
+        model = Sequential(Linear(8, 4))
+        runner = TemporalRunner(model, num_steps=2, readout="membrane_last")
+        reset_fused_counters()
+        with fused_training("on"):
+            with pytest.raises(RuntimeError, match="SkipConnectionNetwork"):
+                runner(Tensor(batch))
+
+    def test_record_spikes_blocks_fusion_at_runtime(self):
+        batch, targets = make_batch()
+        model = build_model()
+        next(m for m in model.modules() if isinstance(m, LIFNeuron)).record_spikes = True
+        runner = TemporalRunner(model, num_steps=3)
+        reset_fused_counters()
+        with fused_training("auto"):
+            CrossEntropyLoss()(runner(batch), targets).backward()
+        assert fused_counters() == {"fused_steps": 0, "fallback_steps": 1}
+        with fused_training("on"):
+            with pytest.raises(RuntimeError, match="spike recording"):
+                runner(batch)
+
+
+class TestResidualLifetime:
+    def test_interleaved_steps_do_not_alias(self):
+        """Two models training in lockstep see exactly their own residuals.
+
+        Residual stashes and scratches live in pooled per-thread buffers; if
+        any were shared across kernels (or if write-back states aliased a
+        pool), interleaving the forward passes would corrupt the first
+        model's backward.  The grads must match the non-interleaved runs
+        bit-for-bit, across two consecutive steps (step two also proves the
+        written-back membrane states are owning copies).
+        """
+        batch, targets = make_batch()
+        loss_fn = CrossEntropyLoss()
+
+        def two_steps_grads(runner):
+            grads = []
+            for _ in range(2):
+                runner.model.zero_grad()
+                loss_fn(runner(batch), targets).backward()
+                grads.append(
+                    {name: np.array(p.grad) for name, p in runner.model.named_parameters()}
+                )
+            return grads
+
+        with fused_training("on"):
+            reference_a = two_steps_grads(TemporalRunner(build_model(), num_steps=3))
+            reference_b = two_steps_grads(
+                TemporalRunner(build_model("zero"), num_steps=3, readout="spike_rate")
+            )
+
+            runner_a = TemporalRunner(build_model(), num_steps=3)
+            runner_b = TemporalRunner(build_model("zero"), num_steps=3, readout="spike_rate")
+            interleaved_a, interleaved_b = [], []
+            for step in range(2):
+                runner_a.model.zero_grad()
+                runner_b.model.zero_grad()
+                loss_a = loss_fn(runner_a(batch), targets)
+                loss_b = loss_fn(runner_b(batch), targets)  # overwrites pools? must not
+                loss_a.backward()
+                loss_b.backward()
+                interleaved_a.append(
+                    {name: np.array(p.grad) for name, p in runner_a.model.named_parameters()}
+                )
+                interleaved_b.append(
+                    {name: np.array(p.grad) for name, p in runner_b.model.named_parameters()}
+                )
+        for step in range(2):
+            for name, reference in reference_a[step].items():
+                assert np.array_equal(interleaved_a[step][name], reference), (step, name)
+            for name, reference in reference_b[step].items():
+                assert np.array_equal(interleaved_b[step][name], reference), (step, name)
+
+    def test_backward_after_newer_forward_raises(self):
+        batch, targets = make_batch()
+        runner = TemporalRunner(build_model(), num_steps=3)
+        loss_fn = CrossEntropyLoss()
+        with fused_training("on"):
+            stale = loss_fn(runner(batch), targets)
+            runner(batch)  # overwrites the pooled residuals
+            with pytest.raises(RuntimeError, match="overwritten|generation|newer"):
+                stale.backward()
+
+
+class _FusedObjective:
+    """Picklable objective running one fused training step (spec is ignored)."""
+
+    def __call__(self, spec) -> EvaluationResult:
+        batch, targets = make_batch()
+        model = build_model()
+        runner = TemporalRunner(model, num_steps=2)
+        with fused_training("on"):
+            loss = CrossEntropyLoss()(runner(batch), targets)
+            loss.backward()
+        return EvaluationResult(spec=spec, objective_value=float(loss.item()), accuracy=0.0)
+
+
+class TestWorkerTelemetry:
+    def test_fused_counter_deltas_ride_result_telemetry(self):
+        """The async-eval telemetry channel ships fused routing deltas.
+
+        Mirrors the sparse-inference plumbing: the worker wrapper snapshots
+        the process aggregate around the objective, ships the delta on the
+        result, and the parent folds it into its own aggregate on absorb —
+        so ``async_workers=N`` searches keep a complete routing picture.
+        """
+        call = _TelemetryCall(_FusedObjective(), None)
+        result = call("spec-placeholder")
+        delta = result.telemetry["counters"]["fused"]
+        assert delta["fused_steps"] == 1
+        before = aggregate_fused_counters()
+        _absorb_telemetry(result)
+        after = aggregate_fused_counters()
+        assert after["fused_steps"] == before["fused_steps"] + 1
+        assert result.telemetry is None

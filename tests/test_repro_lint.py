@@ -399,6 +399,105 @@ class TestStoreSchemaDrift:
 
 
 # ---------------------------------------------------------------------------
+# rule: primitive-coverage
+# ---------------------------------------------------------------------------
+
+class TestPrimitiveCoverage:
+    def test_primitive_without_vjp_is_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "bad.py": """
+                from repro.tensor.primitives import Primitive, register
+
+                def _gelu_fwd(a, want_ctx=False):
+                    return a, None
+
+                def _gelu_jvp(ctx, tangents):
+                    return tangents[0]
+
+                GELU = register(Primitive("gelu", forward=_gelu_fwd, jvp=_gelu_jvp))
+                BAD = Primitive("bad", forward=_gelu_fwd, vjp=None, jvp=_gelu_jvp)
+                """
+            },
+        )
+        findings = [f for f in report.findings if f.rule == "primitive-coverage"]
+        assert len(findings) == 2
+        assert "'gelu'" in findings[0].message and "without a vjp" in findings[0].message
+        assert "'bad'" in findings[1].message and "vjp=None" in findings[1].message
+
+    def test_write_only_residual_stash_is_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "kernel.py": """
+                class BrokenKernel:
+                    def forward(self, t, x):
+                        buf = self.stash("xc", x.shape)
+                        buf[t] = x
+                        return x * 2.0
+
+                    def adjoint(self, g):
+                        return g * 2.0  # never reads the stashed residual back
+                """
+            },
+        )
+        findings = [f for f in report.findings if f.rule == "primitive-coverage"]
+        assert len(findings) == 1
+        assert "BrokenKernel" in findings[0].message
+        assert "write-only" in findings[0].message
+
+    def test_declared_vjp_and_consumed_residuals_are_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "good.py": """
+                from repro.tensor.primitives import Primitive
+
+                def _relu_fwd(a, want_ctx=False):
+                    return a, a
+
+                def _relu_vjp(ctx, g, needs):
+                    return (g * (ctx > 0),)
+
+                def _relu_jvp(ctx, tangents):
+                    return tangents[0]
+
+                RELU = Primitive("relu", forward=_relu_fwd, vjp=_relu_vjp, jvp=_relu_jvp)
+
+                class FusedKernel:
+                    def forward(self, t, x):
+                        buf = self.stash("xc", x.shape)
+                        buf[t] = x
+                        return x * 2.0
+
+                    def adjoint(self, t, g):
+                        return g * self.stashed("xc", t)
+                """
+            },
+        )
+        assert "primitive-coverage" not in rules_of(report)
+
+    def test_kwargs_construction_and_stashless_classes_are_out_of_scope(self, tmp_path):
+        report = lint(
+            tmp_path,
+            {
+                "opaque.py": """
+                from repro.tensor.primitives import Primitive
+
+                def build(**spec):
+                    return Primitive("dynamic", **spec)
+
+                class NoResiduals:
+                    def forward(self, x):
+                        return x + 1.0
+                """
+            },
+        )
+        assert "primitive-coverage" not in rules_of(report)
+
+
+# ---------------------------------------------------------------------------
 # rule: swallowed-exception
 # ---------------------------------------------------------------------------
 

@@ -410,6 +410,7 @@ class TestBenchGateCeiling:
         "conv2d_forward": {"speedup": 3.0},
         "lif_step": {"speedup": 3.0},
         "sparse_eval_rate_0.01": {"speedup": 3.0},
+        "bptt_step": {"speedup": 3.0},
         "tracing_overhead": {"overhead_ratio": 1.005},
     }
 

@@ -12,6 +12,7 @@ from tools.analyze.rules import (
     buffer_escape,
     lock_discipline,
     metrics_hygiene,
+    primitive_coverage,
     schema_drift,
     spawn_safety,
     swallowed_exception,
@@ -21,6 +22,7 @@ __all__ = [
     "buffer_escape",
     "lock_discipline",
     "metrics_hygiene",
+    "primitive_coverage",
     "schema_drift",
     "spawn_safety",
     "swallowed_exception",

@@ -1,0 +1,122 @@
+"""primitive-coverage: every primitive declares its adjoint, and fused
+kernels actually consume the residuals they stash.
+
+PR 10 built training on a primitive IR (:mod:`repro.tensor.primitives`) with
+hand-written adjoints, plus fused temporal kernels
+(:mod:`repro.snn.fused_step`) that stage minimal residuals during the forward
+sweep and replay them in a single reverse-time adjoint.  Two drift modes this
+rule catches statically:
+
+* **an undifferentiable primitive** — a ``Primitive(...)`` construction with
+  no ``vjp`` (or an explicit ``vjp=None``).  The constructor raises at
+  runtime, but only when the module is imported; the lint flags it at the
+  definition site before anything runs, and keeps flagging a primitive that
+  is built lazily or behind a feature gate;
+* **write-only residuals** — a kernel class that calls ``self.stash(...)``
+  during its forward sweep while no method of the class ever reads one back
+  via ``self.stashed(...)``.  Residual stashes exist solely to feed the
+  adjoint; a class that stages them and never consumes them is either dead
+  memory traffic on the training hot path or, worse, an adjoint silently
+  recomputing (or guessing) values the forward already saved.
+
+The residual check is per-class, not per-method: forward and adjoint are
+different methods by design, so the stash/stashed pairing only has to hold
+across the whole class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from tools.analyze.core import Finding, Module, Rule, register
+
+
+def _terminal_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_self_method_call(node: ast.Call, method: str) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == method
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    )
+
+
+@register
+class PrimitiveCoverageRule(Rule):
+    name = "primitive-coverage"
+    description = (
+        "Primitive(...) must declare a vjp, and a kernel class that stashes "
+        "forward residuals must read them back in its adjoint"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _terminal_name(node.func) == "Primitive":
+                yield from self._check_primitive_call(module, node)
+        yield from self._walk_classes(module, module.tree)
+
+    # ------------------------------------------------------------------
+    def _check_primitive_call(self, module: Module, call: ast.Call) -> Iterator[Finding]:
+        vjp: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                return  # **kwargs construction is opaque to static analysis
+            if keyword.arg == "vjp":
+                vjp = keyword.value
+        primitive_name = ""
+        if call.args and isinstance(call.args[0], ast.Constant):
+            primitive_name = f" {call.args[0].value!r}"
+        if vjp is None:
+            yield self.finding(
+                module,
+                call,
+                f"Primitive{primitive_name} is constructed without a vjp — every "
+                "primitive must carry a hand-written adjoint (the registry-driven "
+                "gradcheck in tests/test_primitives.py can only certify what is "
+                "declared)",
+            )
+        elif isinstance(vjp, ast.Constant) and vjp.value is None:
+            yield self.finding(
+                module,
+                call,
+                f"Primitive{primitive_name} declares vjp=None — an explicit None "
+                "adjoint makes the primitive unusable under training",
+            )
+
+    # ------------------------------------------------------------------
+    def _walk_classes(self, module: Module, scope: ast.AST) -> Iterator[Finding]:
+        for stmt in getattr(scope, "body", []):
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._check_class(module, stmt)
+                yield from self._walk_classes(module, stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk_classes(module, stmt)
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        stash_calls: List[ast.Call] = []
+        reads_stashed = False
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                if _is_self_method_call(node, "stash"):
+                    stash_calls.append(node)
+                elif _is_self_method_call(node, "stashed"):
+                    reads_stashed = True
+        if stash_calls and not reads_stashed:
+            yield self.finding(
+                module,
+                stash_calls[0],
+                f"class {cls.name} stashes forward residuals via self.stash(...) "
+                "but no method reads them back via self.stashed(...) — residuals "
+                "exist to feed the reverse-time adjoint, so a write-only stash is "
+                "dead memory traffic on the training hot path (or an adjoint "
+                "ignoring what the forward saved)",
+            )

@@ -8,11 +8,13 @@ substrate hot path regressed.  Two kinds of check:
   dimensionless, so they transfer across machines: the gate fails when a
   ratio drops more than ``--threshold`` (default 30%) below the baseline, or
   below the hard acceptance floors (the inference-mode LIF step and conv2d
-  forward must stay at least 2x faster than the autograd path, and the
+  forward must stay at least 2x faster than the autograd path, the
   event-driven sparse evaluation at firing rate 0.01 at least 2x faster
-  than the dense fast path) — and the disabled-tracing overhead ratio must
-  stay under its hard ceiling (1.02x: span instrumentation may cost at most
-  2% of a whole-model evaluation while tracing is off);
+  than the dense fast path, and the fused BPTT training step at least 1.8x
+  faster than the recorded-graph autograd step) — and the disabled-tracing
+  overhead ratio must stay under its hard ceiling (1.02x: span
+  instrumentation may cost at most 2% of a whole-model evaluation while
+  tracing is off);
 * **absolute timings** (``*_ms`` / ``ms``) are hardware-dependent — CI
   runners differ from the baseline machine — so by default they are only
   *reported*; pass ``--absolute`` to gate them too (useful when baseline and
@@ -33,13 +35,17 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 #: hard floors pinned by acceptance criteria: the PR-5 inference fast paths
-#: must stay at least 2x faster than autograd, and the PR-8 event-driven
-#: sparse evaluation must stay at least 2x faster than the dense fast path
-#: in the deep-sparse regime (firing rate 0.01)
+#: must stay at least 2x faster than autograd, the PR-8 event-driven sparse
+#: evaluation must stay at least 2x faster than the dense fast path in the
+#: deep-sparse regime (firing rate 0.01), and the PR-10 fused BPTT step must
+#: stay at least 1.8x faster than the recorded-graph autograd step (the
+#: committed BENCH_10.json baseline measures ~2.2x; the floor leaves noise
+#: headroom while still catching a fused-path regression to graph speed)
 MIN_SPEEDUPS: Dict[str, float] = {
     "conv2d_forward": 2.0,
     "lif_step": 2.0,
     "sparse_eval_rate_0.01": 2.0,
+    "bptt_step": 1.8,
 }
 
 #: hard ceilings on dimensionless overhead ratios, keyed by flattened metric
